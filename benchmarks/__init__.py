@@ -1,0 +1,5 @@
+"""Benchmark harness: regenerates every figure and table of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``; tables print to stdout
+(add -s) and persist to benchmarks/out/results.txt.
+"""

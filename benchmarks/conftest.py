@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Benchmarks double as the figure-regeneration harness: each module
+computes one of the paper's tables/figures, prints it (visible with
+``pytest benchmarks/ --benchmark-only -s``) and appends it to
+``benchmarks/out/results.txt`` so a plain run leaves an artefact.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.testbed.deployment import Testbed, TestbedConfig
+from repro.testbed.estimator import calibrate_min_jam_loss
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "results.txt")
+
+
+def emit(title: str, text: str) -> None:
+    """Print a table and persist it to the benchmark artefact file."""
+    banner = f"\n===== {title} =====\n{text}\n"
+    print(banner)
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "a") as f:
+        f.write(banner)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The paper's deployment with the calibrated interferer power."""
+    return Testbed(TestbedConfig(interferer_power_dbm=10.0))
+
+
+@pytest.fixture(scope="session")
+def min_jam_loss(testbed):
+    rng = np.random.default_rng(0)
+    return calibrate_min_jam_loss(testbed, rng, trials=150)

@@ -1,0 +1,117 @@
+"""Figure 1: maximum efficiency vs erasure probability.
+
+Regenerates both curve families (group algorithm solid, unicast dashed)
+for n in {2, 3, 6, 10, inf} over the p grid, validates spot points with
+the packet-level protocol under an oracle estimator, and asserts the
+figure's qualitative claims:
+
+* the group family peaks at 0.25 (n = 2, p = 0.5),
+* group efficiency stays bounded away from zero as n grows,
+* unicast efficiency collapses with n,
+* the packet-level protocol tracks the analytic optimum.
+
+The timed kernel is one LP evaluation (the figure's inner loop).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import (
+    BroadcastMedium,
+    Eavesdropper,
+    IIDLossModel,
+    OracleEstimator,
+    ProtocolSession,
+    SessionConfig,
+    Terminal,
+)
+from repro.analysis import render_figure1_table
+from repro.theory import (
+    group_efficiency,
+    group_efficiency_infinite,
+    unicast_efficiency,
+)
+
+P_GRID = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+N_VALUES = [2, 3, 6, 10]
+
+
+def measured_efficiency(n: int, p: float, seed: int = 7) -> float:
+    """One oracle-budgeted round, idealised accounting (x + z packets)."""
+    rng = np.random.default_rng(seed)
+    names = [f"T{i}" for i in range(n)]
+    nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+    medium = BroadcastMedium(nodes, IIDLossModel(p), rng)
+    config = SessionConfig(n_x_packets=240, payload_bytes=32)
+    session = ProtocolSession(medium, names, OracleEstimator(), rng, config=config)
+    result = session.run_round(names[0])
+    assert result.leakage.perfect
+    return result.secret_packets / (config.n_x_packets + result.plan.total_public)
+
+
+@pytest.fixture(scope="module")
+def figure1_data():
+    group_curves = {n: [group_efficiency(n, p) for p in P_GRID] for n in N_VALUES}
+    group_curves[math.inf] = [group_efficiency_infinite(p) for p in P_GRID]
+    unicast_curves = {
+        n: [unicast_efficiency(n, p) for p in P_GRID] for n in N_VALUES
+    }
+    measured = {
+        (n, p): measured_efficiency(n, p)
+        for n, p in [(2, 0.5), (3, 0.3), (3, 0.5), (6, 0.5), (6, 0.7)]
+    }
+    return group_curves, unicast_curves, measured
+
+
+def test_figure1_regenerates(figure1_data, benchmark):
+    group_curves, unicast_curves, measured = figure1_data
+    table = benchmark(
+        render_figure1_table, P_GRID, group_curves, unicast_curves, measured
+    )
+    emit("Figure 1", table)
+    # Peak of the whole figure: 0.25 at (n=2, p=0.5).
+    assert group_curves[2][P_GRID.index(0.5)] == pytest.approx(0.25)
+    # Solid family ordering: efficiency decreases with n at every p.
+    for j in range(len(P_GRID)):
+        column = [group_curves[n][j] for n in N_VALUES]
+        column.append(group_curves[math.inf][j])
+        for a, b in zip(column, column[1:]):
+            assert a >= b - 1e-9
+
+
+def test_unicast_collapses_but_group_does_not(figure1_data):
+    group_curves, unicast_curves, _ = figure1_data
+    j = P_GRID.index(0.5)
+    # Unicast at n=10 has lost > 60% of its n=2 value...
+    assert unicast_curves[10][j] < 0.4 * unicast_curves[2][j]
+    # ...while the group algorithm keeps >= 80% even at n = infinity.
+    assert group_curves[math.inf][j] > 0.8 * group_curves[2][j]
+    # And the n -> inf limit is strictly positive everywhere inside (0,1).
+    assert all(v > 0 for v in group_curves[math.inf])
+
+
+def test_group_dominates_unicast_everywhere(figure1_data):
+    group_curves, unicast_curves, _ = figure1_data
+    for n in N_VALUES:
+        for g, u in zip(group_curves[n], unicast_curves[n]):
+            assert g >= u - 1e-9
+
+
+def test_packet_level_protocol_tracks_theory(figure1_data):
+    group_curves, _, measured = figure1_data
+    for (n, p), eff in measured.items():
+        optimum = group_efficiency(n, p)
+        assert eff <= optimum + 0.02, "protocol cannot beat the optimum"
+        assert eff >= 0.55 * optimum, (
+            f"protocol at n={n}, p={p} achieved {eff:.3f}, "
+            f"far below the {optimum:.3f} optimum"
+        )
+
+
+def test_benchmark_lp_kernel(benchmark):
+    """Timed kernel: one finite-n LP solve of the efficiency program."""
+    result = benchmark(group_efficiency, 8, 0.5)
+    assert 0.15 < result < 0.25

@@ -1,0 +1,134 @@
+"""Figure 2: reliability vs number of terminals.
+
+Runs the testbed campaign (sampled placements per group size; the full
+9*C(8,n) population is available via examples/testbed_campaign.py
+--full) with the deployment estimator — the artificial-interference
+guarantee combined with leave-one-out — and prints the four series the
+paper plots (min / p95 / mean / median).
+
+Shape assertions:
+
+* the median reliability is 1 for every n ("in at least half of the
+  node placements we achieve minimum reliability 1"),
+* at n = 8 (all cells occupied, full placement population) the minimum
+  reliability is >= the paper-matching 0.95,
+* a pure empirical estimator is strictly less reliable than the
+  deployment estimator — the paper's estimation-error mechanism.
+
+The timed kernel is one full n=4 experiment.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import SessionConfig
+from repro.analysis import (
+    CampaignConfig,
+    render_figure2_table,
+    run_campaign,
+    run_placement_experiment,
+    summarize_reliability,
+)
+from repro.core import CombinedEstimator, LeaveOneOutEstimator
+from repro.testbed import Placement
+from repro.testbed.estimator import InterferenceAwareEstimator
+
+SESSION = SessionConfig(
+    n_x_packets=180, payload_bytes=100, secrecy_slack=1, z_cost_factor=2.5
+)
+
+
+def deployment_factory(min_jam_loss):
+    def factory(testbed, placement):
+        ia = InterferenceAwareEstimator(
+            testbed.interference,
+            testbed.config.geometry,
+            min_jam_loss,
+            candidate_cells=testbed.eve_candidate_cells(placement),
+        )
+        return CombinedEstimator([ia, LeaveOneOutEstimator(rate_margin=0.02)])
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def campaign(testbed, min_jam_loss):
+    config = CampaignConfig(
+        session=SESSION,
+        seed=2012,
+        max_placements_per_n=9,
+        group_sizes=(3, 4, 5, 6, 7, 8),
+    )
+    return run_campaign(testbed, deployment_factory(min_jam_loss), config)
+
+
+@pytest.fixture(scope="module")
+def summaries(campaign):
+    return [
+        summarize_reliability(n, campaign.reliabilities(n))
+        for n in campaign.group_sizes()
+    ]
+
+
+def test_figure2_regenerates(summaries, benchmark):
+    table = benchmark(render_figure2_table, summaries)
+    emit("Figure 2 (deployment estimator)", table)
+    assert [s.n_terminals for s in summaries] == [3, 4, 5, 6, 7, 8]
+
+
+def test_median_reliability_is_one_for_every_n(summaries):
+    for s in summaries:
+        assert s.median >= 0.999, f"n={s.n_terminals}: median {s.median}"
+
+
+def test_n8_minimum_reliability(summaries):
+    n8 = next(s for s in summaries if s.n_terminals == 8)
+    assert n8.minimum >= 0.95
+
+
+def test_reliability_series_ordering(summaries):
+    for s in summaries:
+        assert s.minimum <= s.p95 <= s.median
+        assert s.minimum <= s.mean <= 1.0
+
+
+def test_empirical_estimator_less_reliable(testbed, campaign, benchmark):
+    """The paper's mechanism: estimates from terminal evidence alone
+    leak; the interference guarantee is what holds reliability up."""
+    config = CampaignConfig(
+        session=SESSION, seed=2012, max_placements_per_n=6, group_sizes=(6, 8)
+    )
+    loo = benchmark.pedantic(
+        lambda: run_campaign(
+            testbed,
+            lambda tb, pl: LeaveOneOutEstimator(rate_margin=0.05),
+            config,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    loo_summary = summarize_reliability(8, loo.reliabilities(8))
+    emit(
+        "Figure 2 (pure leave-one-out, for contrast)",
+        render_figure2_table(
+            [summarize_reliability(n, loo.reliabilities(n)) for n in (6, 8)]
+        ),
+    )
+    deployed = summarize_reliability(8, campaign.reliabilities(8))
+    assert loo_summary.mean <= deployed.mean + 1e-9
+
+
+def test_benchmark_one_experiment(benchmark, testbed, min_jam_loss):
+    placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+    config = CampaignConfig(
+        session=SessionConfig(n_x_packets=90, payload_bytes=50,
+                              secrecy_slack=1)
+    )
+    factory = deployment_factory(min_jam_loss)
+
+    def run():
+        return run_placement_experiment(testbed, placement, factory, config)
+
+    record = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert 0.0 <= record.reliability <= 1.0

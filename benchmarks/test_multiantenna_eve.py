@@ -1,0 +1,94 @@
+"""The §6 challenge: multi-antenna Eve.
+
+Sweeps Eve's antenna count on a fixed n = 6 placement, measuring (with
+the oracle, i.e. ground truth) how the distillable secret shrinks, and
+how the k-collusion estimator restores reliability when Eve is stronger
+than the single-antenna model assumed by leave-one-out.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import SessionConfig
+from repro.core import (
+    CollusionEstimator,
+    LeaveOneOutEstimator,
+    OracleEstimator,
+    run_experiment,
+)
+from repro.testbed import Placement
+
+SESSION = SessionConfig(n_x_packets=180, payload_bytes=50, secrecy_slack=1)
+PLACEMENT = Placement(eve_cell=4, terminal_cells=(0, 1, 2, 3, 5, 6))
+SPARE_CELLS = (7, 8)
+
+
+def run_with(testbed, estimator, extra_cells, seed=17):
+    rng = np.random.default_rng(seed)
+    medium, names = testbed.build_medium(
+        PLACEMENT, rng, eve_extra_cells=tuple(extra_cells)
+    )
+    return run_experiment(medium, names, estimator, rng, config=SESSION)
+
+
+@pytest.fixture(scope="module")
+def sweep(testbed):
+    rows = []
+    for k in range(len(SPARE_CELLS) + 1):
+        extra = SPARE_CELLS[:k]
+        oracle = run_with(testbed, OracleEstimator(), extra)
+        loo = run_with(testbed, LeaveOneOutEstimator(rate_margin=0.05), extra)
+        collusion = run_with(
+            testbed, CollusionEstimator(k=k + 1, rate_margin=0.05), extra
+        )
+        rows.append((k + 1, oracle, loo, collusion))
+    return rows
+
+
+def test_sweep_table(sweep, benchmark):
+    benchmark(lambda: list(sweep))
+    lines = [
+        f"{'antennas':>8s} {'oracle bits':>11s} "
+        f"{'loo rel':>8s} {'collusion rel':>13s} {'collusion eff':>13s}"
+    ]
+    for k, oracle, loo, collusion in sweep:
+        lines.append(
+            f"{k:>8d} {oracle.secret_bits:>11d} {loo.reliability:>8.2f} "
+            f"{collusion.reliability:>13.2f} {collusion.efficiency:>13.4f}"
+        )
+    emit("Multi-antenna Eve (n = 6)", "\n".join(lines))
+
+
+def test_more_antennas_shrink_the_oracle_secret(sweep):
+    oracle_bits = [row[1].secret_bits for row in sweep]
+    assert oracle_bits[-1] < oracle_bits[0]
+
+
+def test_oracle_always_perfect(sweep):
+    for _, oracle, _, _ in sweep:
+        assert oracle.reliability == 1.0
+
+
+def test_collusion_estimator_holds_reliability(sweep):
+    """With k matched to Eve's antennas, the collusion estimator should
+    not do worse than single-Eve leave-one-out."""
+    for k, _, loo, collusion in sweep:
+        assert collusion.reliability >= loo.reliability - 0.05
+
+
+def test_benchmark_collusion_query(benchmark):
+    from repro.core.estimator import RoundContext
+
+    rng = np.random.default_rng(5)
+    reports = {
+        f"T{i}": frozenset(j for j in range(180) if rng.random() > 0.4)
+        for i in range(6)
+    }
+    est = CollusionEstimator(k=2)
+    est.begin_round(
+        RoundContext(leader="T0", reports=reports, n_packets=180)
+    )
+    ids = list(range(90))
+    result = benchmark(est.budget, ids)
+    assert result >= 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Figure 1: group-algorithm efficiency vs the unicast strawman.
+
+Prints the analytic curves (theory module) for n = 2, 3, 6, 10 and the
+n → ∞ limits, then validates spot points with the actual packet-level
+protocol under an oracle estimator on i.i.d. erasure channels.
+
+Run:  python examples/group_vs_unicast.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import (
+    BroadcastMedium,
+    Eavesdropper,
+    IIDLossModel,
+    OracleEstimator,
+    SessionConfig,
+    Terminal,
+)
+from repro.analysis import render_figure1_table
+from repro.core import ProtocolSession
+from repro.theory import group_efficiency, unicast_efficiency
+
+
+def measured_efficiency(n: int, p: float, seed: int = 7) -> float:
+    """One leader round of the real protocol, idealised accounting.
+
+    Figure 1's analysis counts x-packets and z-contents only, so this
+    validation divides secret packets by (N + z-packets) rather than
+    using the full ledger (headers, feedback, ACKs).
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"T{i}" for i in range(n)]
+    nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+    medium = BroadcastMedium(nodes, IIDLossModel(p), rng)
+    config = SessionConfig(n_x_packets=240, payload_bytes=64)
+    session = ProtocolSession(medium, names, OracleEstimator(), rng, config=config)
+    result = session.run_round(names[0])
+    assert result.leakage.perfect, "oracle rounds must be perfectly secret"
+    denominator = config.n_x_packets + result.plan.total_public
+    return result.secret_packets / denominator
+
+
+def main() -> None:
+    probs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    ns = [2, 3, 6, 10, math.inf]
+    group_curves = {n: [group_efficiency(n, p) for p in probs] for n in ns}
+    unicast_curves = {n: [unicast_efficiency(n, p) for p in probs]
+                      for n in ns if n != math.inf}
+    unicast_curves[math.inf] = [0.0 for _ in probs]
+
+    measured = {}
+    for n, p in [(3, 0.3), (3, 0.5), (6, 0.5)]:
+        measured[(n, p)] = measured_efficiency(n, p)
+
+    print(render_figure1_table(probs, group_curves, unicast_curves, measured))
+    print()
+    print("Reading the table like the figure: the solid (group) family")
+    print("stays bounded away from zero as n grows, while the dashed")
+    print("(unicast) family collapses — the motivation for phase 2.")
+
+
+if __name__ == "__main__":
+    main()

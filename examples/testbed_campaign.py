@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The paper's §4 testbed campaign: reliability and efficiency vs n.
+
+Places n terminals + Eve on the 3×3 cell grid (14 m², rotating
+interference), runs one experiment per placement, and prints the
+Figure-2 reliability series plus the headline efficiency table.
+
+Run:  python examples/testbed_campaign.py [--full] [--n 3 8] [--per-n 12]
+
+--full runs every placement like the paper (9·C(8,n) experiments per n;
+budget ~1-2 hours); the default samples placements for a quick look.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import SessionConfig, TestbedConfig, Testbed
+from repro.analysis import (
+    CampaignConfig,
+    render_figure2_table,
+    render_headline_table,
+    run_campaign,
+    summarize_reliability,
+)
+from repro.core import CombinedEstimator, LeaveOneOutEstimator
+from repro.testbed.estimator import (
+    InterferenceAwareEstimator,
+    calibrate_min_jam_loss,
+)
+
+
+def build_estimator_factory(min_jam_loss: float):
+    """The deployment estimator: interference guarantee + empirical LOO."""
+
+    def factory(testbed: Testbed, placement):
+        interference = InterferenceAwareEstimator(
+            testbed.interference,
+            testbed.config.geometry,
+            min_jam_loss,
+            candidate_cells=testbed.eve_candidate_cells(placement),
+        )
+        return CombinedEstimator(
+            [interference, LeaveOneOutEstimator(rate_margin=0.02)]
+        )
+
+    return factory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every placement (the paper's design)")
+    parser.add_argument("--n", nargs=2, type=int, default=(3, 8),
+                        metavar=("MIN", "MAX"), help="group-size range")
+    parser.add_argument("--per-n", type=int, default=12,
+                        help="sampled placements per n (ignored with --full)")
+    parser.add_argument("--seed", type=int, default=2012)
+    args = parser.parse_args()
+
+    testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+    rng = np.random.default_rng(args.seed)
+    print("calibrating the interference guarantee (site survey)...")
+    min_jam_loss = calibrate_min_jam_loss(testbed, rng, trials=200)
+    print(f"certified in-beam loss floor: {min_jam_loss:.3f}\n")
+
+    config = CampaignConfig(
+        session=SessionConfig(
+            n_x_packets=270, payload_bytes=100, secrecy_slack=1,
+            z_cost_factor=2.5,
+        ),
+        seed=args.seed,
+        max_placements_per_n=None if args.full else args.per_n,
+        group_sizes=tuple(range(args.n[0], args.n[1] + 1)),
+    )
+
+    done = []
+
+    def progress(n, placement):
+        done.append(1)
+        if len(done) % 25 == 0:
+            print(f"  ... {len(done)} experiments")
+
+    result = run_campaign(
+        testbed, build_estimator_factory(min_jam_loss), config, progress
+    )
+
+    summaries = [
+        summarize_reliability(n, result.reliabilities(n))
+        for n in result.group_sizes()
+    ]
+    print()
+    print(render_figure2_table(summaries))
+    print()
+    if 8 in result.group_sizes():
+        print(render_headline_table(result.for_n(8)))
+
+
+if __name__ == "__main__":
+    main()

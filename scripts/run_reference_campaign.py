@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Reference campaign for EXPERIMENTS.md: Figure 2 + headline numbers.
+
+Runs the testbed campaign with the deployment estimator (interference
+guarantee combined with leave-one-out) and, separately, with the pure
+empirical estimator, writing JSON snapshots to scripts/out/.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import SessionConfig, Testbed, TestbedConfig
+from repro.analysis import CampaignConfig, run_campaign, summarize_reliability
+from repro.core import CombinedEstimator, LeaveOneOutEstimator
+from repro.testbed.estimator import (
+    InterferenceAwareEstimator,
+    calibrate_min_jam_loss,
+)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def combined_factory(min_jam_loss):
+    def factory(testbed, placement):
+        ia = InterferenceAwareEstimator(
+            testbed.interference,
+            testbed.config.geometry,
+            min_jam_loss,
+            candidate_cells=testbed.eve_candidate_cells(placement),
+        )
+        return CombinedEstimator([ia, LeaveOneOutEstimator(rate_margin=0.02)])
+
+    return factory
+
+
+def loo_factory(testbed, placement):
+    return LeaveOneOutEstimator(rate_margin=0.05)
+
+
+def campaign_to_json(result):
+    return [
+        {
+            "n": r.n_terminals,
+            "eve_cell": r.placement.eve_cell,
+            "cells": list(r.placement.terminal_cells),
+            "efficiency": r.efficiency,
+            "reliability": r.reliability,
+            "secret_bits": r.secret_bits,
+            "transmitted_bits": r.transmitted_bits,
+        }
+        for r in result.records
+    ]
+
+
+def main():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+    rng = np.random.default_rng(0)
+    t0 = time.time()
+    pmin = calibrate_min_jam_loss(testbed, rng, trials=250)
+    print(f"min_jam_loss = {pmin:.3f} ({time.time()-t0:.0f}s)", flush=True)
+
+    session = SessionConfig(
+        n_x_packets=270, payload_bytes=100, secrecy_slack=1, z_cost_factor=2.5
+    )
+    config = CampaignConfig(
+        session=session,
+        seed=2012,
+        max_placements_per_n=18,
+        group_sizes=(3, 4, 5, 6, 7, 8),
+    )
+
+    for label, factory in (
+        ("combined", combined_factory(pmin)),
+        ("loo", loo_factory),
+    ):
+        t1 = time.time()
+        result = run_campaign(
+            testbed,
+            factory,
+            config,
+            progress=lambda n, pl: None,
+        )
+        path = os.path.join(OUT_DIR, f"campaign_{label}.json")
+        with open(path, "w") as f:
+            json.dump(
+                {"min_jam_loss": pmin, "records": campaign_to_json(result)},
+                f,
+                indent=1,
+            )
+        print(f"{label}: {len(result.records)} experiments in "
+              f"{time.time()-t1:.0f}s -> {path}", flush=True)
+        for n in result.group_sizes():
+            s = summarize_reliability(n, result.reliabilities(n))
+            effs = result.efficiencies(n)
+            print(f"  n={n}: rel min={s.minimum:.2f} p95={s.p95:.2f} "
+                  f"mean={s.mean:.2f} med={s.median:.2f} | "
+                  f"eff min={min(effs):.4f} mean={np.mean(effs):.4f}",
+                  flush=True)
+
+
+if __name__ == "__main__":
+    main()

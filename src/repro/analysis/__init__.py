@@ -1,0 +1,36 @@
+"""Experiment campaigns and result summarisation.
+
+* :mod:`repro.analysis.experiments` — run the paper's §4 campaign: one
+  experiment (full leader rotation) per placement, for each group size.
+* :mod:`repro.analysis.stats` — the order statistics Figure 2 plots:
+  minimum, mean, the "95% of experiments" level and the median.
+* :mod:`repro.analysis.report` — render results as the ASCII tables the
+  benchmarks print.
+"""
+
+from repro.analysis.experiments import (
+    CampaignConfig,
+    CampaignResult,
+    ExperimentRecord,
+    run_campaign,
+    run_placement_experiment,
+)
+from repro.analysis.stats import ReliabilitySummary, summarize_reliability
+from repro.analysis.report import (
+    render_figure1_table,
+    render_figure2_table,
+    render_headline_table,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "ExperimentRecord",
+    "run_campaign",
+    "run_placement_experiment",
+    "ReliabilitySummary",
+    "summarize_reliability",
+    "render_figure1_table",
+    "render_figure2_table",
+    "render_headline_table",
+]

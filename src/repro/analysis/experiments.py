@@ -1,0 +1,161 @@
+"""Campaign runner: the paper's §4 experiment design, end to end.
+
+An *experiment* is one full protocol execution (leader rotation
+included) for one placement of n terminals + Eve on the testbed grid.
+A *campaign* runs one experiment per placement, per group size, and
+feeds the reliability/efficiency populations to
+:mod:`repro.analysis.stats` — exactly how Figure 2 and the headline
+efficiency number were produced.
+
+Determinism: every experiment derives its RNG seed from (campaign seed,
+placement, n), so campaigns are reproducible and individually
+re-runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimator import EveErasureEstimator
+from repro.core.rotation import ExperimentResult, run_experiment
+from repro.core.session import SessionConfig
+from repro.testbed.deployment import Testbed
+from repro.testbed.placements import (
+    Placement,
+    enumerate_placements,
+    sample_placements,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "ExperimentRecord",
+    "CampaignResult",
+    "run_placement_experiment",
+    "run_campaign",
+]
+
+#: Builds a fresh estimator for a placement (estimators may use the
+#: candidate-cell geometry, so they are placement-specific).
+EstimatorFactory = Callable[[Testbed, Placement], EveErasureEstimator]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-wide parameters.
+
+    Attributes:
+        session: protocol configuration shared by all experiments.
+        seed: master seed; per-experiment seeds derive from it.
+        max_placements_per_n: cap on placements per group size (None
+            runs the full 9*C(8,n) enumeration like the paper; smaller
+            values sample uniformly for quick runs).
+        group_sizes: the n values to sweep (paper: 3..8).
+    """
+
+    session: SessionConfig = field(default_factory=SessionConfig)
+    seed: int = 2012
+    max_placements_per_n: Optional[int] = None
+    group_sizes: tuple = (3, 4, 5, 6, 7, 8)
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One experiment's outcome, with enough detail for every figure."""
+
+    n_terminals: int
+    placement: Placement
+    efficiency: float
+    reliability: float
+    secret_bits: int
+    transmitted_bits: int
+
+    @property
+    def secret_kbps_at_1mbps(self) -> float:
+        return self.efficiency * 1e3
+
+
+@dataclass
+class CampaignResult:
+    """All experiments of a campaign, grouped by group size."""
+
+    records: list = field(default_factory=list)
+
+    def for_n(self, n: int) -> list:
+        return [r for r in self.records if r.n_terminals == n]
+
+    def reliabilities(self, n: int) -> list:
+        return [r.reliability for r in self.for_n(n)]
+
+    def efficiencies(self, n: int) -> list:
+        return [r.efficiency for r in self.for_n(n)]
+
+    def group_sizes(self) -> list:
+        return sorted({r.n_terminals for r in self.records})
+
+
+def _experiment_seed(seed: int, placement: Placement, n: int) -> int:
+    key = (seed, n, placement.eve_cell) + tuple(placement.terminal_cells)
+    return abs(hash(key)) % (2**63)
+
+
+def run_placement_experiment(
+    testbed: Testbed,
+    placement: Placement,
+    estimator_factory: EstimatorFactory,
+    config: CampaignConfig,
+) -> ExperimentRecord:
+    """Run one experiment (full rotation) on one placement."""
+    rng = np.random.default_rng(
+        _experiment_seed(config.seed, placement, placement.n_terminals)
+    )
+    medium, names = testbed.build_medium(placement, rng)
+    estimator = estimator_factory(testbed, placement)
+    result: ExperimentResult = run_experiment(
+        medium, names, estimator, rng, config=config.session
+    )
+    return ExperimentRecord(
+        n_terminals=placement.n_terminals,
+        placement=placement,
+        efficiency=result.efficiency,
+        reliability=result.reliability,
+        secret_bits=result.secret_bits,
+        transmitted_bits=result.metrics.transmitted_bits,
+    )
+
+
+def run_campaign(
+    testbed: Testbed,
+    estimator_factory: EstimatorFactory,
+    config: Optional[CampaignConfig] = None,
+    progress: Optional[Callable[[int, Placement], None]] = None,
+) -> CampaignResult:
+    """Run the full campaign across group sizes and placements.
+
+    Args:
+        testbed: the deployment.
+        estimator_factory: builds the per-placement estimator.
+        config: campaign parameters.
+        progress: optional callback invoked before each experiment.
+    """
+    config = config if config is not None else CampaignConfig()
+    result = CampaignResult()
+    sample_rng = np.random.default_rng(config.seed)
+    for n in config.group_sizes:
+        if config.max_placements_per_n is None:
+            placements: Sequence[Placement] = list(enumerate_placements(n))
+        else:
+            placements = sample_placements(
+                n, config.max_placements_per_n, sample_rng
+            )
+        for placement in placements:
+            if progress is not None:
+                progress(n, placement)
+            result.records.append(
+                run_placement_experiment(
+                    testbed, placement, estimator_factory, config
+                )
+            )
+    return result

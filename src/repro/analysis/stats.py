@@ -1,0 +1,71 @@
+"""Order statistics for experiment campaigns (Figure 2's four series).
+
+The paper plots, per group size n: the minimum reliability across all
+experiments (diamonds), the average (circles), the minimum achieved
+during 95% of experiments (triangles — i.e. the 5th percentile) and the
+minimum achieved during 50% of experiments (squares — the median).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ReliabilitySummary", "summarize_reliability", "best_fraction_minimum"]
+
+
+def best_fraction_minimum(values: Sequence[float], fraction: float) -> float:
+    """Minimum over the best ``fraction`` of experiments.
+
+    "Minimum reliability achieved during 95% of the experiments" keeps
+    the best 95% of runs and reports their worst member — the
+    ``(1 - fraction)``-quantile by rank, discarding the bottom tail.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    vals = sorted(values, reverse=True)
+    if not vals:
+        raise ValueError("no values to summarise")
+    keep = max(1, int(np.ceil(fraction * len(vals))))
+    return vals[keep - 1]
+
+
+@dataclass(frozen=True)
+class ReliabilitySummary:
+    """The four Figure-2 series for one group size."""
+
+    n_terminals: int
+    n_experiments: int
+    minimum: float
+    mean: float
+    p95: float  # min over the best 95% of experiments (triangles)
+    median: float  # min over the best 50% of experiments (squares)
+
+    def as_row(self) -> tuple:
+        return (
+            self.n_terminals,
+            self.n_experiments,
+            self.minimum,
+            self.p95,
+            self.mean,
+            self.median,
+        )
+
+
+def summarize_reliability(
+    n_terminals: int, reliabilities: Sequence[float]
+) -> ReliabilitySummary:
+    """Collapse one group size's experiments into the Figure-2 series."""
+    if not reliabilities:
+        raise ValueError("need at least one experiment")
+    values = list(reliabilities)
+    return ReliabilitySummary(
+        n_terminals=n_terminals,
+        n_experiments=len(values),
+        minimum=min(values),
+        mean=float(np.mean(values)),
+        p95=best_fraction_minimum(values, 0.95),
+        median=best_fraction_minimum(values, 0.50),
+    )

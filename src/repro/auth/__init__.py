@@ -1,0 +1,31 @@
+"""Active-adversary extension: authentication from pooled secrets.
+
+The HotNets paper evaluates a passive Eve and defers active-attack
+defences to its technical report: terminals share a small *bootstrap*
+secret when they first meet, authenticate protocol control messages
+with it, and replace it with protocol-generated secrets thereafter —
+so no long-lived key material exists for an attacker to steal.
+
+This package implements that flavour with information-theoretic
+primitives (no computational assumptions, matching the paper's threat
+philosophy):
+
+* :mod:`repro.auth.mac` — one-time Carter-Wegman MAC over GF(2^8)
+  (polynomial universal hashing + one-time pad), forgery probability
+  bounded by ``message_blocks / 256`` per tag regardless of the
+  attacker's compute.
+* :mod:`repro.auth.bootstrap` — an authenticated channel that draws
+  one-time keys from a :class:`repro.core.secret.SecretPool` and
+  refreshes the pool from protocol output.
+"""
+
+from repro.auth.bootstrap import AuthenticatedChannel, BootstrapError
+from repro.auth.mac import MAC_KEY_BYTES, OneTimeMac, forgery_bound
+
+__all__ = [
+    "OneTimeMac",
+    "MAC_KEY_BYTES",
+    "forgery_bound",
+    "AuthenticatedChannel",
+    "BootstrapError",
+]

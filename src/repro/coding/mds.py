@@ -1,0 +1,107 @@
+"""Systematic MDS erasure codes over GF(2^8).
+
+A ``(n, k)`` MDS code turns ``k`` data packets into ``n`` coded packets
+such that *any* ``k`` of them suffice to reconstruct the data.  The
+generator used here is ``G = [I | P]`` with ``P`` a ``k x (n-k)`` Cauchy
+block; the resulting code is MDS because every square minor of a Cauchy
+matrix is nonsingular.
+
+The protocol uses this both directly (reliable dissemination in the
+examples) and conceptually: the y/z/s combination families of
+:mod:`repro.coding.privacy` inherit their guarantees from the same minor
+properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import as_gf_array
+from repro.gf.linalg import GFMatrix
+from repro.gf.matrices import MAX_CAUCHY_POINTS, cauchy_matrix
+
+__all__ = ["SystematicMDSCode"]
+
+
+class SystematicMDSCode:
+    """A systematic ``(n, k)`` MDS code over GF(256).
+
+    Args:
+        k: number of data packets.
+        n: total number of coded packets (``k <= n``).
+
+    Raises:
+        ValueError: for invalid dimensions or when the Cauchy parity block
+            would exceed the field size (``n > 256 - k`` is impossible at
+            symbol level; callers should chunk).
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if n < k:
+            raise ValueError("n must be at least k")
+        parity_cols = n - k
+        if k + parity_cols > MAX_CAUCHY_POINTS:
+            raise ValueError(
+                f"(n={n}, k={k}) needs {k + parity_cols} field points > 256; "
+                "split the data into chunks"
+            )
+        self.k = k
+        self.n = n
+        parity = cauchy_matrix(k, parity_cols) if parity_cols else GFMatrix.zeros(k, 0)
+        self.generator = GFMatrix.identity(k).hstack(parity)
+
+    def __repr__(self) -> str:
+        return f"SystematicMDSCode(k={self.k}, n={self.n})"
+
+    # -- encoding ------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` payload rows into ``n`` coded rows.
+
+        Args:
+            data: uint8 array of shape (k, payload_len).
+
+        Returns:
+            uint8 array of shape (n, payload_len); the first ``k`` rows
+            are the data verbatim (systematic part).
+        """
+        data = as_gf_array(np.atleast_2d(data))
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data rows, got {data.shape[0]}")
+        coded = self.generator.transpose() @ GFMatrix(data)
+        return coded.data
+
+    # -- decoding ------------------------------------------------------
+
+    def decode(self, received: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the data from any ``k`` received coded rows.
+
+        Args:
+            received: mapping from coded-row index (0-based, < n) to its
+                payload row.  At least ``k`` entries are required; extras
+                are ignored deterministically (lowest indices win).
+
+        Returns:
+            uint8 array of shape (k, payload_len).
+
+        Raises:
+            ValueError: on insufficient or inconsistent input.
+        """
+        if len(received) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} coded packets, got {len(received)}"
+            )
+        indices = sorted(received)[: self.k]
+        for idx in indices:
+            if not 0 <= idx < self.n:
+                raise ValueError(f"coded index {idx} out of range [0, {self.n})")
+        rows = np.vstack([as_gf_array(np.atleast_1d(received[i])) for i in indices])
+        # coded_row_i = (column i of generator)^T . data
+        submatrix = self.generator.take_cols(indices).transpose()
+        return submatrix.solve(GFMatrix(rows)).data
+
+    def erasure_tolerance(self) -> int:
+        """Number of coded-packet losses the code survives (n - k)."""
+        return self.n - self.k

@@ -1,0 +1,140 @@
+"""Terminal-side decoding: phases 1 and 2 from a receiver's viewpoint.
+
+The leader broadcasts *descriptors* (which x-ids, which coefficient
+family) — never contents.  Each terminal then runs:
+
+1. :func:`decode_y_from_x` — rebuild every y-packet whose support it
+   fully received (phase 1 step 4).
+2. :func:`recover_missing_y` — solve for the y-packets it is missing
+   using the public z-contents (phase 2 step 2).
+3. :func:`assemble_secret` — apply the s-map to the now-complete y-set
+   (phase 2 step 4).
+
+All functions are pure: they take descriptors + payload maps and return
+payload maps, so they are directly property-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.coding.privacy import GroupCodingPlan, Phase2Chunk, YAllocation
+from repro.gf.field import as_gf_array
+from repro.gf.linalg import GFMatrix
+
+__all__ = [
+    "decodable_y_indices",
+    "decode_y_from_x",
+    "recover_missing_y",
+    "assemble_secret",
+]
+
+
+def decodable_y_indices(allocation: YAllocation, terminal) -> list:
+    """Global y-row indices ``terminal`` can rebuild from its x-packets."""
+    return allocation.rows_for_terminal(terminal)
+
+
+def decode_y_from_x(
+    allocation: YAllocation, terminal, received_x: Mapping
+) -> dict:
+    """Phase 1 step 4: reconstruct this terminal's decodable y-packets.
+
+    Args:
+        allocation: the leader's broadcast y-plan.
+        terminal: this terminal's id.
+        received_x: x-id -> payload (uint8 array) for packets received.
+
+    Returns:
+        global y-row index -> payload.
+
+    Raises:
+        KeyError: if the allocation claims this terminal decodes a block
+            but a support packet is missing from ``received_x`` — that
+            would mean the reception report was wrong.
+    """
+    out: dict = {}
+    offset = 0
+    for block in allocation.blocks:
+        if terminal in block.subset:
+            payloads = np.vstack(
+                [as_gf_array(np.atleast_1d(received_x[xid])) for xid in block.support]
+            )
+            y_vals = (block.matrix @ GFMatrix(payloads)).data
+            for r in range(block.rows):
+                out[offset + r] = y_vals[r]
+        offset += block.rows
+    return out
+
+
+def recover_missing_y(
+    chunk: Phase2Chunk, known_y: Mapping, z_payloads: np.ndarray
+) -> dict:
+    """Phase 2 step 2: complete one chunk's y-set from the public z-packets.
+
+    Args:
+        chunk: the chunk descriptor (global row ids + z-map).
+        known_y: global y-row index -> payload, for rows this terminal
+            decoded in phase 1 (other chunks' rows are ignored).
+        z_payloads: uint8 array of shape (chunk.n_public, payload_len)
+            with the broadcast z-contents, in z-row order.
+
+    Returns:
+        global y-row index -> payload for *all* rows of the chunk.
+
+    Raises:
+        ValueError: if more rows are missing than the z-map can recover
+            (the leader built the plan wrong) or shapes mismatch.
+    """
+    rows = list(chunk.y_rows)
+    local_known = [k for k, g in enumerate(rows) if g in known_y]
+    local_missing = [k for k, g in enumerate(rows) if g not in known_y]
+    if not local_missing:
+        return {g: known_y[g] for g in rows}
+    if len(local_missing) > chunk.n_public:
+        raise ValueError(
+            f"{len(local_missing)} y-packets missing but only "
+            f"{chunk.n_public} z-packets available"
+        )
+    z_payloads = as_gf_array(np.atleast_2d(z_payloads))
+    if z_payloads.shape[0] != chunk.n_public:
+        raise ValueError("z payload count does not match the z-map")
+    if local_known:
+        known_matrix = GFMatrix(
+            np.vstack([as_gf_array(np.atleast_1d(known_y[rows[k]])) for k in local_known])
+        )
+        contribution = chunk.z_matrix.take_cols(local_known) @ known_matrix
+        rhs = GFMatrix(np.bitwise_xor(z_payloads, contribution.data))
+    else:
+        rhs = GFMatrix(z_payloads)
+    solved = chunk.z_matrix.take_cols(local_missing).solve(rhs)
+    out = {g: known_y[g] for g in rows if g in known_y}
+    for j, k in enumerate(local_missing):
+        out[rows[k]] = solved.data[j]
+    return out
+
+
+def assemble_secret(plan: GroupCodingPlan, full_y: Mapping) -> np.ndarray:
+    """Phase 2 step 4: compute the s-packets (the group secret).
+
+    Args:
+        plan: the phase-2 plan (all chunks).
+        full_y: global y-row index -> payload; must cover every chunk row.
+
+    Returns:
+        uint8 array of shape (L, payload_len) — the concatenated group
+        secret, chunk by chunk.  Shape (0, 0) when L == 0.
+    """
+    pieces = []
+    for chunk in plan.chunks:
+        if chunk.n_secret == 0:
+            continue
+        y_block = GFMatrix(
+            np.vstack([as_gf_array(np.atleast_1d(full_y[g])) for g in chunk.y_rows])
+        )
+        pieces.append((chunk.s_matrix @ y_block).data)
+    if not pieces:
+        return np.zeros((0, 0), dtype=np.uint8)
+    return np.vstack(pieces)

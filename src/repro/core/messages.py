@@ -1,0 +1,99 @@
+"""Control-message wire formats (for exact cost accounting).
+
+The simulation passes Python objects between parties, but every control
+message still occupies airtime, and the efficiency metric divides by
+*total transmitted bits* — so each message computes the size its natural
+serialisation would occupy.  Formats are deliberately simple (no
+compression), erring on the side of charging the protocol more:
+
+* **Reception report**: round id (2 B) + packet count (2 B) + a bitmap
+  of received x-ids (⌈N/8⌉ B).
+* **Block descriptor**: the identities of the x-packets used in each
+  y-combination.  Per block: subset bitmap (2 B), row count (1 B),
+  family tag + offset (2 B), support length (2 B) + 2 B per support id.
+  The Cauchy family is deterministic given (rows, support length), so
+  coefficients never travel — only identities, exactly as in the paper.
+* **Phase-2 descriptor**: per chunk, the chunk length (2 B) and secret
+  count (2 B); the z/s Cauchy maps are again implied.
+* **z-content packets** carry their payload plus a 4 B (chunk, row) tag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "ReceptionReport",
+    "BlockDescriptorSet",
+    "Phase2Descriptor",
+    "z_content_overhead_bytes",
+]
+
+
+@dataclass(frozen=True)
+class ReceptionReport:
+    """Terminal -> group: which x-packets of this round arrived."""
+
+    round_id: int
+    terminal: str
+    received_ids: frozenset
+    n_packets: int
+
+    def body_bytes(self) -> int:
+        return 2 + 2 + math.ceil(self.n_packets / 8)
+
+
+@dataclass(frozen=True)
+class BlockDescriptorSet:
+    """Leader -> group: identities of every y-combination.
+
+    ``blocks`` is the :class:`~repro.coding.privacy.YAllocation` blocks
+    list; only identity information is charged (and, per the paper's
+    conservative model, Eve learns all of it).
+    """
+
+    round_id: int
+    supports: tuple  # tuple of per-block support-id tuples
+    rows: tuple  # tuple of per-block row counts
+
+    @classmethod
+    def from_allocation(cls, round_id: int, allocation) -> "BlockDescriptorSet":
+        return cls(
+            round_id=round_id,
+            supports=tuple(tuple(b.support) for b in allocation.blocks),
+            rows=tuple(b.rows for b in allocation.blocks),
+        )
+
+    def body_bytes(self) -> int:
+        total = 2  # round id
+        for support in self.supports:
+            total += 2 + 1 + 2 + 2  # subset bitmap, rows, family, length
+            total += 2 * len(support)
+        return total
+
+
+@dataclass(frozen=True)
+class Phase2Descriptor:
+    """Leader -> group: chunk structure of the z/s maps."""
+
+    round_id: int
+    chunk_sizes: tuple
+    secret_counts: tuple
+
+    @classmethod
+    def from_plan(cls, round_id: int, plan) -> "Phase2Descriptor":
+        return cls(
+            round_id=round_id,
+            chunk_sizes=tuple(c.size for c in plan.chunks),
+            secret_counts=tuple(c.n_secret for c in plan.chunks),
+        )
+
+    def body_bytes(self) -> int:
+        return 2 + 4 * len(self.chunk_sizes)
+
+
+def z_content_overhead_bytes() -> int:
+    """Per-z-packet tag: chunk index (2 B) + row index (2 B)."""
+    return 4

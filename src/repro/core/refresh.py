@@ -1,0 +1,158 @@
+"""Continuous key refresh: the paper's §1 deployment story as an API.
+
+"These continuously generated shared secrets would not rely on any
+information permanently stored in Alice's or Bob's machines" — a group
+keeps executing the protocol in the background, every agreed secret
+flows into a pool, and applications draw one-time pads and one-time MAC
+keys from it.  :class:`RefreshingGroup` packages that loop: construct it
+over a medium, call :meth:`refresh_epoch` whenever more key material is
+wanted, and use :meth:`encrypt` / :meth:`authenticate` (with their
+matching verifiers on other members' instances) in between.
+
+Every member holds an identical pool because the protocol guarantees an
+identical secret and deposits are made in epoch order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.auth.bootstrap import AuthenticatedChannel
+from repro.core.estimator import EveErasureEstimator
+from repro.core.rotation import ExperimentResult, run_experiment
+from repro.core.secret import GroupSecret, SecretPool
+from repro.core.session import SessionConfig
+from repro.net.medium import BroadcastMedium
+
+__all__ = ["EpochReport", "RefreshingGroup"]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Outcome of one refresh epoch."""
+
+    epoch: int
+    secret_bits: int
+    reliability: float
+    efficiency: float
+    pool_bytes_after: int
+
+
+@dataclass
+class RefreshingGroup:
+    """One member's view of a continuously re-keyed group.
+
+    Args:
+        medium: the broadcast domain shared by the group.
+        terminal_names: the group members.
+        estimator: Eve-erasure estimator used by every epoch.
+        rng: randomness for protocol payloads.
+        config: per-epoch protocol parameters.
+        bootstrap: optional initial secret (enables authentication before
+            the first epoch completes, as §2 requires for active Eves).
+
+    Note:
+        The simulation runs all members' protocol stacks in one process,
+        so a single instance models the whole group's synchronized pool;
+        :meth:`peer_view` clones an independent pool to emulate another
+        member for end-to-end checks.
+    """
+
+    medium: BroadcastMedium
+    terminal_names: Sequence[str]
+    estimator: EveErasureEstimator
+    rng: np.random.Generator
+    config: SessionConfig = field(default_factory=SessionConfig)
+    bootstrap: Optional[bytes] = None
+    minimum_reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.pool = SecretPool()
+        self.channel: Optional[AuthenticatedChannel] = None
+        if self.bootstrap is not None:
+            self.channel = AuthenticatedChannel.from_bootstrap(self.bootstrap)
+        self._epoch = 0
+        self.history: list = []
+
+    # -- key generation --------------------------------------------------
+
+    def refresh_epoch(self) -> EpochReport:
+        """Run one full protocol execution and absorb its secret.
+
+        Secrets from epochs whose measured reliability falls below
+        ``minimum_reliability`` are *discarded* (deposited nowhere):
+        partially leaked material must never enter the pad pool.
+        """
+        result: ExperimentResult = run_experiment(
+            self.medium,
+            self.terminal_names,
+            self.estimator,
+            self.rng,
+            config=self.config,
+        )
+        accepted = result.reliability >= self.minimum_reliability
+        if accepted and result.secret_bits > 0:
+            secret = GroupSecret(result.group_secret)
+            self.pool.deposit(secret)
+            if self.channel is not None:
+                self.channel.refresh(secret)
+        report = EpochReport(
+            epoch=self._epoch,
+            secret_bits=result.secret_bits if accepted else 0,
+            reliability=result.reliability,
+            efficiency=result.efficiency,
+            pool_bytes_after=self.pool.available_bytes,
+        )
+        self._epoch += 1
+        self.history.append(report)
+        return report
+
+    def ensure_bytes(self, n_bytes: int, max_epochs: int = 32) -> None:
+        """Refresh until the pool holds at least ``n_bytes``.
+
+        Raises:
+            RuntimeError: if ``max_epochs`` refreshes cannot fill the
+            pool (dead channels or a zero-certifying estimator).
+        """
+        epochs = 0
+        while self.pool.available_bytes < n_bytes:
+            if epochs >= max_epochs:
+                raise RuntimeError(
+                    f"pool stuck at {self.pool.available_bytes} bytes "
+                    f"after {epochs} epochs (need {n_bytes})"
+                )
+            self.refresh_epoch()
+            epochs += 1
+
+    # -- key consumption --------------------------------------------------
+
+    def encrypt(self, message: bytes) -> bytes:
+        """One-time-pad ``message`` with pool bytes (consumed forever)."""
+        return self.pool.one_time_pad(message)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Identical to :meth:`encrypt` — XOR pads are symmetric; call on
+        a synchronized peer instance."""
+        return self.pool.one_time_pad(ciphertext)
+
+    def authenticate(self, message: bytes) -> bytes:
+        """Tag a control message with a one-time MAC key from the pool."""
+        if self.channel is None:
+            raise RuntimeError("no bootstrap: authentication unavailable")
+        return self.channel.authenticate(message)
+
+    def verify_next(self, message: bytes, tag: bytes) -> bool:
+        if self.channel is None:
+            raise RuntimeError("no bootstrap: authentication unavailable")
+        return self.channel.verify_next(message, tag)
+
+    # -- testing aid -------------------------------------------------------
+
+    def peer_view(self) -> "SecretPool":
+        """An independent pool with identical contents (another member)."""
+        clone = SecretPool()
+        clone.deposit_raw(bytes(self.pool._buffer))
+        return clone

@@ -1,0 +1,97 @@
+"""Secret containers: the group secret and the refreshable key pool.
+
+The paper's motivating use case (§1) is continuous key refresh: secrets
+generated "out of thin air" feed a pool from which session keys and
+one-time pads are drawn, with no long-lived material to steal.
+:class:`SecretPool` implements that consumption model; the
+:mod:`repro.auth` extension draws its MAC keys from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GroupSecret", "SecretPool"]
+
+
+@dataclass(frozen=True)
+class GroupSecret:
+    """An agreed secret: L packets of payload_bytes symbols."""
+
+    packets: np.ndarray  # (L, payload_bytes) uint8
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.packets, dtype=np.uint8)
+        if arr.ndim != 2:
+            raise ValueError("secret packets must form a 2-D array")
+        object.__setattr__(self, "packets", arr)
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.packets.shape[0])
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.packets.size) * 8
+
+    def to_bytes(self) -> bytes:
+        return self.packets.tobytes()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GroupSecret):
+            return NotImplemented
+        return self.packets.shape == other.packets.shape and bool(
+            np.all(self.packets == other.packets)
+        )
+
+    def __hash__(self):
+        return hash((self.packets.shape, self.packets.tobytes()))
+
+
+@dataclass
+class SecretPool:
+    """FIFO pool of secret bytes with strict one-time consumption.
+
+    Bytes handed out by :meth:`consume` are discarded — they can never be
+    issued twice, which is what makes pads and Carter-Wegman MAC keys
+    drawn from the pool information-theoretically safe to use once.
+    """
+
+    _buffer: bytearray = field(default_factory=bytearray)
+    consumed_bytes: int = 0
+
+    @property
+    def available_bytes(self) -> int:
+        return len(self._buffer)
+
+    def deposit(self, secret: GroupSecret) -> None:
+        """Fold a freshly agreed secret into the pool."""
+        self._buffer.extend(secret.to_bytes())
+
+    def deposit_raw(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def consume(self, n_bytes: int) -> bytes:
+        """Withdraw ``n_bytes``; raises when the pool runs dry.
+
+        Raises:
+            KeyError-like LookupError: if fewer bytes remain — callers
+            must check :attr:`available_bytes` or agree more secrets.
+        """
+        if n_bytes < 0:
+            raise ValueError("cannot consume a negative amount")
+        if n_bytes > len(self._buffer):
+            raise LookupError(
+                f"pool has {len(self._buffer)} bytes, {n_bytes} requested"
+            )
+        out = bytes(self._buffer[:n_bytes])
+        del self._buffer[:n_bytes]
+        self.consumed_bytes += n_bytes
+        return out
+
+    def one_time_pad(self, message: bytes) -> bytes:
+        """Encrypt (or decrypt) a message with pool bytes, consuming them."""
+        pad = self.consume(len(message))
+        return bytes(m ^ p for m, p in zip(message, pad))

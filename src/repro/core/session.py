@@ -1,0 +1,388 @@
+"""One protocol round: both phases, end to end, on a broadcast medium.
+
+:class:`ProtocolSession` orchestrates the paper's §3 algorithm:
+
+Phase 1 (pair-wise secrets)
+    1. The leader ("Alice") transmits N x-packets of random symbols.
+    2. Every other terminal reliably broadcasts a reception report.
+    3. The leader plans the y-combinations (via
+       :func:`repro.coding.privacy.plan_y_allocation`, budgeted by the
+       configured estimator) and reliably broadcasts their *identities*.
+    4. Each terminal reconstructs the y-packets its report entitles it to.
+
+Phase 2 (group secret)
+    1. The leader reliably broadcasts the *contents* of the z-packets
+       (and the phase-2 descriptor).
+    2. Each terminal solves for its missing y-packets.
+    3. The s-identities are implicit in the descriptor; every terminal
+       applies the s-map.
+    4. All terminals now hold the same L s-packets: the group secret.
+
+The session runs all parties honestly but keeps their information sets
+separate: terminals decode exclusively from their own receptions plus
+broadcast identities, and a defensive check verifies every terminal
+derived the identical secret.  Eve's knowledge is *accounted*, not
+simulated: every reliably broadcast byte is assumed heard by her (the
+paper's conservative model) and her over-the-air captures are recorded
+by the medium, feeding :func:`repro.core.eve.round_leakage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coding.privacy import (
+    GroupCodingPlan,
+    YAllocation,
+    build_phase2_matrices,
+    plan_y_allocation,
+)
+from repro.coding.reconcile import (
+    assemble_secret,
+    decode_y_from_x,
+    recover_missing_y,
+)
+from repro.core.estimator import EveErasureEstimator, RoundContext
+from repro.core.eve import LeakageReport, round_leakage
+from repro.core.messages import (
+    BlockDescriptorSet,
+    Phase2Descriptor,
+    ReceptionReport,
+    z_content_overhead_bytes,
+)
+from repro.gf.linalg import GFMatrix
+from repro.net.medium import BroadcastMedium
+from repro.net.node import Eavesdropper, Terminal
+from repro.net.packet import Packet, PacketKind
+from repro.net.reliable import reliable_broadcast
+
+__all__ = ["SessionConfig", "RoundResult", "ProtocolSession", "ProtocolError"]
+
+
+class ProtocolError(RuntimeError):
+    """An invariant the protocol guarantees was violated."""
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session protocol parameters.
+
+    Attributes:
+        n_x_packets: N, x-packets per round (paper example: tens to
+            hundreds; default chosen so one round rotates through all 9
+            interference patterns at the testbed's default dwell).
+        payload_bytes: symbols per packet (paper: 100 bytes = 800 bits).
+        max_attempts: reliable-broadcast retry bound.
+    """
+
+    n_x_packets: int = 90
+    payload_bytes: int = 100
+    max_attempts: int = 400
+    #: Cap on combination-block decodable-set size; None = unrestricted.
+    #: Empirical estimators prefer small caps (see the estimator
+    #: granularity ablation), schedule-based ones handle any order.
+    max_subset_size: Optional[int] = None
+    #: Secret dimensions withheld per phase-2 chunk to absorb estimator
+    #: error (see repro.coding.privacy.build_phase2_matrices).
+    secrecy_slack: int = 0
+    #: Idle slots before each reliable-broadcast retry, letting rotating
+    #: interference dwells pass (free in the bit-count metric).
+    control_backoff_slots: int = 5
+    #: Relative airtime cost of one z-packet in the allocation objective.
+    z_cost_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_x_packets < 1:
+            raise ValueError("need at least one x-packet")
+        if self.payload_bytes < 1:
+            raise ValueError("payloads must be non-empty")
+
+
+@dataclass
+class RoundResult:
+    """Everything observable about one completed round."""
+
+    leader: str
+    round_id: int
+    n_x_packets: int
+    reports: dict
+    allocation: YAllocation
+    plan: GroupCodingPlan
+    secret: np.ndarray  # (L, payload_bytes)
+    leakage: LeakageReport
+    eve_received_ids: frozenset
+
+    @property
+    def secret_packets(self) -> int:
+        return int(self.secret.shape[0])
+
+    @property
+    def secret_bits(self) -> int:
+        return int(self.secret.size) * 8
+
+
+class ProtocolSession:
+    """Runs protocol rounds for a fixed group on a fixed medium.
+
+    Args:
+        medium: the broadcast domain (terminals + at most one Eve).
+        terminal_names: the group, in a stable order.
+        estimator: the Eve-erasure estimator (§3.3).
+        rng: randomness for payload generation (channel randomness lives
+            in the medium's rng; they may be the same generator).
+        config: protocol parameters.
+        eve_name: the eavesdropper's node name, or None when the medium
+            has no Eve (pure functionality tests).
+    """
+
+    def __init__(
+        self,
+        medium: BroadcastMedium,
+        terminal_names: Sequence[str],
+        estimator: EveErasureEstimator,
+        rng: np.random.Generator,
+        config: Optional[SessionConfig] = None,
+        eve_name: Optional[str] = "eve",
+    ) -> None:
+        if len(terminal_names) < 2:
+            raise ValueError("the protocol needs at least two terminals")
+        for name in terminal_names:
+            node = medium.node(name)
+            if not isinstance(node, Terminal):
+                raise TypeError(f"{name!r} is not a Terminal")
+        if eve_name is not None and eve_name in medium.nodes:
+            if not isinstance(medium.node(eve_name), Eavesdropper):
+                raise TypeError(f"{eve_name!r} is not an Eavesdropper")
+        else:
+            eve_name = None
+        self.medium = medium
+        self.terminal_names = list(terminal_names)
+        self.estimator = estimator
+        self.rng = rng
+        self.config = config if config is not None else SessionConfig()
+        self.eve_name = eve_name
+
+    # -- phase 1 -------------------------------------------------------
+
+    def _broadcast_x_packets(self, leader: str, round_id: int) -> tuple:
+        cfg = self.config
+        payloads = self.rng.integers(
+            0, 256, size=(cfg.n_x_packets, cfg.payload_bytes), dtype=np.uint8
+        )
+        eve = self.medium.node(self.eve_name) if self.eve_name else None
+        x_slots: dict = {}
+        for x_id in range(cfg.n_x_packets):
+            packet = Packet(
+                kind=PacketKind.X_DATA,
+                src=leader,
+                payload=payloads[x_id],
+                meta={"x_id": x_id, "round": round_id},
+            )
+            x_slots[x_id] = self.medium.time
+            got = self.medium.transmit(leader, packet, round_id=round_id)
+            for name in got:
+                node = self.medium.nodes[name]
+                if isinstance(node, Terminal) and name in self.terminal_names:
+                    node.record(round_id, x_id, payloads[x_id])
+                elif eve is not None and name == self.eve_name:
+                    eve.record(round_id, x_id, payloads[x_id])
+        return payloads, x_slots
+
+    def _collect_reports(self, leader: str, round_id: int) -> dict:
+        cfg = self.config
+        reports: dict = {}
+        receivers = [t for t in self.terminal_names if t != leader]
+        for name in receivers:
+            node = self.medium.node(name)
+            received = frozenset(node.received_ids(round_id))
+            report = ReceptionReport(
+                round_id=round_id,
+                terminal=name,
+                received_ids=received,
+                n_packets=cfg.n_x_packets,
+            )
+            packet = Packet(
+                kind=PacketKind.FEEDBACK,
+                src=name,
+                control_bytes=report.body_bytes(),
+                meta={"round": round_id},
+            )
+            targets = [t for t in self.terminal_names if t != name]
+            reliable_broadcast(
+                self.medium,
+                name,
+                packet,
+                targets,
+                round_id=round_id,
+                max_attempts=cfg.max_attempts,
+                backoff_slots=cfg.control_backoff_slots,
+            )
+            reports[name] = set(received)
+        return reports
+
+    # -- phase 2 -------------------------------------------------------
+
+    def _leader_y_values(
+        self, allocation: YAllocation, payloads: np.ndarray
+    ) -> np.ndarray:
+        """The leader knows every payload, so it computes y directly."""
+        if allocation.total_rows == 0:
+            return np.zeros((0, payloads.shape[1]), dtype=np.uint8)
+        rows = []
+        for block in allocation.blocks:
+            block_payloads = payloads[list(block.support)]
+            rows.append((block.matrix @ GFMatrix(block_payloads)).data)
+        return np.vstack(rows)
+
+    def _broadcast_z_contents(
+        self,
+        leader: str,
+        round_id: int,
+        plan: GroupCodingPlan,
+        y_values: np.ndarray,
+    ) -> dict:
+        cfg = self.config
+        receivers = [t for t in self.terminal_names if t != leader]
+        z_by_chunk: dict = {}
+        for chunk_idx, chunk in enumerate(plan.chunks):
+            if chunk.n_public == 0:
+                z_by_chunk[chunk_idx] = np.zeros(
+                    (0, y_values.shape[1] if y_values.size else cfg.payload_bytes),
+                    dtype=np.uint8,
+                )
+                continue
+            z_vals = (chunk.z_matrix @ GFMatrix(y_values[list(chunk.y_rows)])).data
+            z_by_chunk[chunk_idx] = z_vals
+            for row in range(z_vals.shape[0]):
+                packet = Packet(
+                    kind=PacketKind.Z_CONTENT,
+                    src=leader,
+                    payload=z_vals[row],
+                    control_bytes=z_content_overhead_bytes(),
+                    meta={"round": round_id, "chunk": chunk_idx, "z_row": row},
+                )
+                reliable_broadcast(
+                    self.medium,
+                    leader,
+                    packet,
+                    receivers,
+                    round_id=round_id,
+                    max_attempts=cfg.max_attempts,
+                    backoff_slots=cfg.control_backoff_slots,
+                )
+        return z_by_chunk
+
+    def _broadcast_descriptor(
+        self, leader: str, round_id: int, body_bytes: int
+    ) -> None:
+        receivers = [t for t in self.terminal_names if t != leader]
+        packet = Packet(
+            kind=PacketKind.DESCRIPTOR,
+            src=leader,
+            control_bytes=body_bytes,
+            meta={"round": round_id},
+        )
+        reliable_broadcast(
+            self.medium,
+            leader,
+            packet,
+            receivers,
+            round_id=round_id,
+            max_attempts=self.config.max_attempts,
+            backoff_slots=self.config.control_backoff_slots,
+        )
+
+    # -- the round -------------------------------------------------------
+
+    def _reset_round_logs(self, round_id: int) -> None:
+        """Drop stale receptions for ``round_id``.
+
+        Consecutive experiments on one medium (continuous key refresh)
+        reuse round ids; packets recorded under the same id in an
+        earlier execution must not contaminate this round's reports.
+        """
+        for name in self.terminal_names:
+            self.medium.node(name).received.pop(round_id, None)
+        if self.eve_name:
+            self.medium.node(self.eve_name).received.pop(round_id, None)
+
+    def run_round(self, leader: str, round_id: int = 0) -> RoundResult:
+        """Execute one full round with ``leader`` as Alice."""
+        if leader not in self.terminal_names:
+            raise ValueError(f"{leader!r} is not in the group")
+        cfg = self.config
+        self._reset_round_logs(round_id)
+
+        # Phase 1, step 1: x-packets over the lossy broadcast channel.
+        payloads, x_slots = self._broadcast_x_packets(leader, round_id)
+        # Phase 1, step 2: reception reports (reliable).
+        reports = self._collect_reports(leader, round_id)
+        # Phase 1, step 3: plan and announce the y-identities.
+        eve_received = (
+            frozenset(self.medium.node(self.eve_name).received_ids(round_id))
+            if self.eve_name
+            else frozenset()
+        )
+        self.estimator.begin_round(
+            RoundContext(
+                leader=leader,
+                reports=reports,
+                n_packets=cfg.n_x_packets,
+                eve_received=eve_received,
+                x_slots=x_slots,
+            )
+        )
+        allocation = plan_y_allocation(
+            reports,
+            self.estimator.budget,
+            overhead_packets=cfg.n_x_packets,
+            max_subset_size=cfg.max_subset_size,
+            z_cost_factor=cfg.z_cost_factor,
+        )
+        descriptor = BlockDescriptorSet.from_allocation(round_id, allocation)
+        self._broadcast_descriptor(leader, round_id, descriptor.body_bytes())
+
+        # Phase 2: redistribute and extract.
+        plan = build_phase2_matrices(allocation, secrecy_slack=cfg.secrecy_slack)
+        phase2_descriptor = Phase2Descriptor.from_plan(round_id, plan)
+        self._broadcast_descriptor(leader, round_id, phase2_descriptor.body_bytes())
+        y_values = self._leader_y_values(allocation, payloads)
+        z_by_chunk = self._broadcast_z_contents(leader, round_id, plan, y_values)
+
+        # Terminal-side reconstruction (leader's copy computed directly).
+        leader_secret = assemble_secret(
+            plan, {g: y_values[g] for g in range(allocation.total_rows)}
+        )
+        for name in reports:
+            node = self.medium.node(name)
+            known = decode_y_from_x(
+                allocation, name, node.received_payloads(round_id)
+            )
+            full: dict = {}
+            for chunk_idx, chunk in enumerate(plan.chunks):
+                full.update(
+                    recover_missing_y(chunk, known, z_by_chunk[chunk_idx])
+                )
+            terminal_secret = assemble_secret(plan, full)
+            if not np.array_equal(terminal_secret, leader_secret):
+                raise ProtocolError(
+                    f"terminal {name} derived a different secret than the leader"
+                )
+
+        leakage = round_leakage(
+            allocation, plan, eve_received, list(range(cfg.n_x_packets))
+        )
+        return RoundResult(
+            leader=leader,
+            round_id=round_id,
+            n_x_packets=cfg.n_x_packets,
+            reports=reports,
+            allocation=allocation,
+            plan=plan,
+            secret=leader_secret,
+            leakage=leakage,
+            eve_received_ids=eve_received,
+        )

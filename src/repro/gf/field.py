@@ -1,0 +1,183 @@
+"""Scalar and vectorised arithmetic in GF(2^8).
+
+All functions accept either Python ints or numpy arrays (any shape) of
+dtype uint8 and broadcast like ordinary numpy ufuncs.  Addition is XOR;
+multiplication and division go through the discrete-log tables from
+:mod:`repro.gf.tables`.
+
+The hot path of the whole library is :func:`gf_matmul` — combining packet
+payloads and running Gaussian elimination both reduce to it — so it is
+written to stay inside vectorised numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.gf.tables import EXP, GF_GENERATOR, GF_ORDER, GF_POLY, LOG
+
+GFElement = Union[int, np.ndarray]
+
+__all__ = [
+    "GF_ORDER",
+    "GF_POLY",
+    "GF_GENERATOR",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_matmul",
+    "gf_poly_eval",
+    "as_gf_array",
+]
+
+
+def as_gf_array(values) -> np.ndarray:
+    """Coerce ``values`` to a uint8 numpy array, validating the range.
+
+    Raises:
+        ValueError: if any value is outside [0, 255].
+    """
+    arr = np.asarray(values)
+    if arr.dtype != np.uint8:
+        if np.any((arr < 0) | (arr > 255)):
+            raise ValueError("GF(256) elements must lie in [0, 255]")
+        arr = arr.astype(np.uint8)
+    return arr
+
+
+def gf_add(a: GFElement, b: GFElement) -> GFElement:
+    """Field addition (== subtraction): bitwise XOR."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(a) ^ int(b)
+    return np.bitwise_xor(as_gf_array(a), as_gf_array(b))
+
+
+def gf_mul(a: GFElement, b: GFElement) -> GFElement:
+    """Field multiplication via log/antilog tables.
+
+    ``a * b = g**(log a + log b)`` for nonzero operands; any zero operand
+    yields zero.  The vectorised branch uses the sentinel in LOG[0]
+    (a large negative value) together with ``np.where`` masking so no
+    conditional indexing is needed.
+    """
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        if a == 0 or b == 0:
+            return 0
+        return int(EXP[LOG[int(a)] + LOG[int(b)]])
+    a_arr = as_gf_array(a)
+    b_arr = as_gf_array(b)
+    la = LOG[a_arr]
+    lb = LOG[b_arr]
+    idx = la + lb
+    zero = (a_arr == 0) | (b_arr == 0)
+    # Sentinel sums are far negative; clamp them into the padded EXP range
+    # before the lookup, then mask the result to zero.
+    idx = np.where(zero, 0, idx)
+    return np.where(zero, 0, EXP[idx]).astype(np.uint8)
+
+
+def gf_inv(a: GFElement) -> GFElement:
+    """Multiplicative inverse.
+
+    Raises:
+        ZeroDivisionError: on a zero operand (scalar path) — vectorised
+        callers must mask zeros themselves, mirroring numpy's behaviour
+        for integer division.
+    """
+    if isinstance(a, (int, np.integer)):
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(EXP[255 - LOG[int(a)]])
+    a_arr = as_gf_array(a)
+    if np.any(a_arr == 0):
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return EXP[255 - LOG[a_arr]].astype(np.uint8)
+
+
+def gf_div(a: GFElement, b: GFElement) -> GFElement:
+    """Field division ``a / b``; raises ZeroDivisionError when b == 0."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(EXP[LOG[int(a)] - LOG[int(b)] + 255])
+    b_arr = as_gf_array(b)
+    if np.any(b_arr == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    a_arr = as_gf_array(a)
+    la = LOG[a_arr]
+    lb = LOG[b_arr]
+    idx = la - lb + 255
+    zero = a_arr == 0
+    idx = np.where(zero, 0, idx)
+    return np.where(zero, 0, EXP[idx]).astype(np.uint8)
+
+
+def gf_pow(a: GFElement, exponent: int) -> GFElement:
+    """``a ** exponent`` with the usual conventions (``a**0 == 1``)."""
+    if exponent < 0:
+        return gf_pow(gf_inv(a), -exponent)
+    if isinstance(a, (int, np.integer)):
+        if exponent == 0:
+            return 1
+        if a == 0:
+            return 0
+        return int(EXP[(LOG[int(a)] * exponent) % 255])
+    a_arr = as_gf_array(a)
+    if exponent == 0:
+        return np.ones_like(a_arr)
+    idx = (LOG[a_arr] * exponent) % 255
+    zero = a_arr == 0
+    idx = np.where(zero, 0, idx)
+    return np.where(zero, 0, EXP[idx]).astype(np.uint8)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256).
+
+    ``a`` has shape (r, k), ``b`` has shape (k, c); the result has shape
+    (r, c).  Implemented row-by-row with table lookups: for each row of
+    ``a`` we compute all scalar-vector products in one vectorised XOR
+    reduction.  This keeps memory bounded at O(k*c) per row while staying
+    fully inside numpy.
+    """
+    a = as_gf_array(np.atleast_2d(a))
+    b = as_gf_array(np.atleast_2d(b))
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for GF matmul: {a.shape} x {b.shape}")
+    rows, k = a.shape
+    _, cols = b.shape
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    if k == 0 or rows == 0 or cols == 0:
+        return out
+    log_b = LOG[b]  # (k, c), sentinel at zeros
+    b_zero = b == 0
+    for i in range(rows):
+        row = a[i]
+        nz = row != 0
+        if not np.any(nz):
+            continue
+        la = LOG[row[nz]][:, None]  # (k', 1)
+        idx = la + log_b[nz]  # (k', c)
+        prod = EXP[np.where(b_zero[nz], 0, idx)]
+        prod = np.where(b_zero[nz], 0, prod)
+        out[i] = np.bitwise_xor.reduce(prod, axis=0)
+    return out
+
+
+def gf_poly_eval(coeffs: np.ndarray, x: GFElement) -> GFElement:
+    """Evaluate a polynomial with GF(256) coefficients at ``x`` (Horner).
+
+    ``coeffs`` is highest-degree first.  Used by the authentication MAC
+    (polynomial universal hashing).
+    """
+    coeffs = as_gf_array(np.atleast_1d(coeffs))
+    acc: GFElement = 0
+    for c in coeffs:
+        acc = gf_add(gf_mul(acc, x), int(c))
+    return acc

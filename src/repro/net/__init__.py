@@ -1,0 +1,56 @@
+"""Wireless broadcast-network substrate.
+
+The protocol consumes a single abstraction: *a broadcast medium with
+per-receiver erasures*.  This package provides it at two fidelity levels:
+
+* **Abstract** — i.i.d. or bursty (Gilbert-Elliott) per-link erasure
+  processes (:mod:`repro.net.channel`), used by unit tests, examples and
+  the Figure-1 validation runs.
+* **Physical** — an SINR-driven model (:mod:`repro.net.radio`) with
+  log-distance path loss, per-packet Rayleigh fading and external
+  interference, used by the testbed deployment of
+  :mod:`repro.testbed` to reproduce Figure 2.
+
+:class:`repro.net.medium.BroadcastMedium` delivers packets from one node
+to every other node according to the configured loss model, while
+:class:`repro.net.trace.TransmissionLedger` accounts every bit that goes
+on the air — the denominator of the paper's efficiency metric.
+"""
+
+from repro.net.channel import (
+    DeterministicChannel,
+    ErasureChannel,
+    GilbertElliottChannel,
+    IIDErasureChannel,
+    PerfectChannel,
+)
+from repro.net.medium import BroadcastMedium, IIDLossModel, LossModel, MatrixLossModel
+from repro.net.node import Eavesdropper, Node, Terminal
+from repro.net.packet import Packet, PacketKind
+from repro.net.radio import RadioConfig, path_loss_db, per_from_sinr_db, sinr_db
+from repro.net.reliable import ReliableBroadcastResult, reliable_broadcast
+from repro.net.trace import TransmissionLedger
+
+__all__ = [
+    "ErasureChannel",
+    "IIDErasureChannel",
+    "GilbertElliottChannel",
+    "DeterministicChannel",
+    "PerfectChannel",
+    "BroadcastMedium",
+    "LossModel",
+    "IIDLossModel",
+    "MatrixLossModel",
+    "Node",
+    "Terminal",
+    "Eavesdropper",
+    "Packet",
+    "PacketKind",
+    "RadioConfig",
+    "path_loss_db",
+    "sinr_db",
+    "per_from_sinr_db",
+    "reliable_broadcast",
+    "ReliableBroadcastResult",
+    "TransmissionLedger",
+]

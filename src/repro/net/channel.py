@@ -1,0 +1,158 @@
+"""Per-link packet-erasure processes.
+
+The protocol's behaviour is fully determined by *which packets each
+receiver missed*, so channels are modelled at erasure granularity.
+Three families cover the evaluation needs:
+
+* :class:`IIDErasureChannel` — the memoryless model used by the paper's
+  Figure-1 analysis (every packet lost independently with probability p).
+* :class:`GilbertElliottChannel` — two-state bursty losses, used by
+  robustness tests: the construction's guarantees are pattern-oblivious,
+  so burstiness must not break secrecy (only rates).
+* :class:`DeterministicChannel` — scripted loss patterns for exact unit
+  tests (e.g. reproducing the paper's worked example verbatim).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ErasureChannel",
+    "IIDErasureChannel",
+    "GilbertElliottChannel",
+    "DeterministicChannel",
+    "PerfectChannel",
+]
+
+
+class ErasureChannel(abc.ABC):
+    """A one-way packet-erasure process.
+
+    Instances are stateful (bursty models advance an internal chain), so
+    each directed link owns its own channel object.
+    """
+
+    @abc.abstractmethod
+    def erased(self, rng: np.random.Generator) -> bool:
+        """Sample whether the next packet on this link is lost."""
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``count`` successive erasure indicators (True = lost)."""
+        return np.array([self.erased(rng) for _ in range(count)], dtype=bool)
+
+    def reset(self) -> None:
+        """Return the channel to its initial state (no-op by default)."""
+
+
+class IIDErasureChannel(ErasureChannel):
+    """Memoryless erasures: every packet lost with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("erasure probability must be in [0, 1]")
+        self.p = p
+
+    def erased(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(count) < self.p
+
+    def __repr__(self) -> str:
+        return f"IIDErasureChannel(p={self.p})"
+
+
+class PerfectChannel(IIDErasureChannel):
+    """A lossless link (erasure probability zero)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+    def __repr__(self) -> str:
+        return "PerfectChannel()"
+
+
+class GilbertElliottChannel(ErasureChannel):
+    """Two-state Markov (Gilbert-Elliott) bursty erasure channel.
+
+    The chain alternates between a good state with loss ``p_good`` and a
+    bad state with loss ``p_bad``; ``p_g2b``/``p_b2g`` are the per-packet
+    transition probabilities.  Steady-state loss rate is
+    ``(p_b2g*p_good + p_g2b*p_bad) / (p_g2b + p_b2g)``.
+    """
+
+    def __init__(
+        self,
+        p_g2b: float,
+        p_b2g: float,
+        p_good: float = 0.0,
+        p_bad: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("p_g2b", p_g2b),
+            ("p_b2g", p_b2g),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if p_g2b + p_b2g <= 0:
+            raise ValueError("the chain must be able to move between states")
+        self.p_g2b = p_g2b
+        self.p_b2g = p_b2g
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self._bad = False
+
+    def steady_state_loss(self) -> float:
+        denom = self.p_g2b + self.p_b2g
+        pi_bad = self.p_g2b / denom
+        return pi_bad * self.p_bad + (1 - pi_bad) * self.p_good
+
+    def erased(self, rng: np.random.Generator) -> bool:
+        if self._bad:
+            if rng.random() < self.p_b2g:
+                self._bad = False
+        else:
+            if rng.random() < self.p_g2b:
+                self._bad = True
+        p = self.p_bad if self._bad else self.p_good
+        return bool(rng.random() < p)
+
+    def reset(self) -> None:
+        self._bad = False
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottChannel(g2b={self.p_g2b}, b2g={self.p_b2g}, "
+            f"p_good={self.p_good}, p_bad={self.p_bad})"
+        )
+
+
+class DeterministicChannel(ErasureChannel):
+    """Scripted erasures: packet ``k`` is lost iff ``pattern[k % len]``.
+
+    Unit tests use this to reproduce the paper's worked examples with
+    exact reception sets.
+    """
+
+    def __init__(self, pattern: Sequence[bool]) -> None:
+        if len(pattern) == 0:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = [bool(b) for b in pattern]
+        self._idx = 0
+
+    def erased(self, rng: np.random.Generator) -> bool:  # rng unused, scripted
+        result = self.pattern[self._idx % len(self.pattern)]
+        self._idx += 1
+        return result
+
+    def reset(self) -> None:
+        self._idx = 0
+
+    def __repr__(self) -> str:
+        return f"DeterministicChannel(len={len(self.pattern)})"

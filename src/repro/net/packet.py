@@ -1,0 +1,99 @@
+"""Packets and their on-air cost model.
+
+Every transmission in the protocol is a :class:`Packet`.  Payload-bearing
+packets (x-packets, z-packets) carry a numpy payload; control packets
+(feedback reports, combination descriptors, ACKs) carry none but still
+cost bits, captured by :attr:`Packet.wire_bytes`.
+
+The paper's efficiency metric divides secret bits by *total bits the
+terminals transmitted*, so the cost model matters: we charge every packet
+a configurable link-layer header (default 28 bytes: a 24-byte 802.11
+MAC header plus a 4-byte FCS; the PLCP preamble is charged by the medium
+per transmission attempt) plus its payload or control body.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PacketKind", "Packet", "DEFAULT_HEADER_BYTES"]
+
+#: 802.11 MAC header + FCS, charged on every packet.
+DEFAULT_HEADER_BYTES = 28
+
+_packet_counter = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Role of a packet inside the protocol."""
+
+    #: Phase-1 source packet (random payload) — the paper's x-packet.
+    X_DATA = "x"
+    #: Reception report: bitmap of received x-ids (reliable broadcast).
+    FEEDBACK = "feedback"
+    #: Combination descriptor: identities only, never contents.
+    DESCRIPTOR = "descriptor"
+    #: Phase-2 public packet whose *contents* travel — the z-packet.
+    Z_CONTENT = "z"
+    #: Link-layer acknowledgement for reliable broadcasts.
+    ACK = "ack"
+    #: Application payload (used by examples, not by the protocol core).
+    APP_DATA = "app"
+
+
+@dataclass
+class Packet:
+    """One unit of transmission.
+
+    Attributes:
+        kind: protocol role, drives accounting breakdowns.
+        src: sender node name.
+        payload: field-symbol payload for payload-bearing kinds.
+        control_bytes: body size for control packets (reports and
+            descriptors encode their real serialised size here).
+        seq: per-process unique id (monotone), handy for tracing.
+        meta: free-form annotations (x-id, round number, ...).
+    """
+
+    kind: PacketKind
+    src: str
+    payload: Optional[np.ndarray] = None
+    control_bytes: int = 0
+    header_bytes: int = DEFAULT_HEADER_BYTES
+    seq: int = field(default_factory=lambda: next(_packet_counter))
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            self.payload = np.asarray(self.payload, dtype=np.uint8)
+            if self.payload.ndim != 1:
+                raise ValueError("packet payloads are 1-D symbol vectors")
+        if self.control_bytes < 0 or self.header_bytes < 0:
+            raise ValueError("sizes must be non-negative")
+
+    @property
+    def body_bytes(self) -> int:
+        """Payload or control body size in bytes."""
+        if self.payload is not None:
+            return int(self.payload.size)
+        return self.control_bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes this packet occupies on the air per attempt."""
+        return self.body_bytes + self.header_bytes
+
+    @property
+    def wire_bits(self) -> int:
+        return 8 * self.wire_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(kind={self.kind.value}, src={self.src!r}, "
+            f"bytes={self.wire_bytes}, seq={self.seq})"
+        )

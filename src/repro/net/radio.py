@@ -1,0 +1,136 @@
+"""Physical-layer model: path loss, fading, SINR and packet error rate.
+
+The testbed of §4 of the paper runs 802.11g radios at 1 Mbps (the DSSS
+DBPSK base rate) over ~4 m line-of-sight links, with WARP interferers
+raising the noise floor of jammed cells.  This module reproduces that
+stack with textbook models:
+
+* **Log-distance path loss** anchored at the free-space loss of the
+  carrier frequency at 1 m; LOS indoor exponent defaults to 2.0.
+* **Per-packet Rayleigh fading** (exponential power gain) plus optional
+  log-normal shadowing — this is what turns the sharp DSSS waterfall
+  curve into the smooth partial-loss regime the protocol feeds on.
+* **DBPSK + DSSS error rate**: bit error ``0.5*exp(-PG*sinr)`` with the
+  11-chip Barker processing gain, then ``PER = 1-(1-BER)^bits``.
+
+Numbers are deliberately conservative approximations — DESIGN.md §2
+records why only the *shape* of the induced erasure processes matters to
+the protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RadioConfig",
+    "free_space_loss_db",
+    "path_loss_db",
+    "received_power_dbm",
+    "sinr_db",
+    "ber_dbpsk",
+    "per_from_sinr_db",
+    "sample_packet_loss",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Static PHY parameters shared by every node of a deployment.
+
+    Defaults mirror the paper's testbed: 2.472 GHz (channel 13), 3 dBm
+    transmit power, 1 Mbps DSSS, 100-byte protocol payloads.
+    """
+
+    frequency_hz: float = 2.472e9
+    tx_power_dbm: float = 3.0
+    noise_floor_dbm: float = -95.0
+    path_loss_exponent: float = 2.0
+    reference_distance_m: float = 1.0
+    processing_gain: float = 11.0
+    bitrate_bps: float = 1e6
+    shadowing_sigma_db: float = 2.0
+    rayleigh_fading: bool = True
+    min_distance_m: float = 0.1
+
+    def reference_loss_db(self) -> float:
+        """Free-space loss at the reference distance for this carrier."""
+        return free_space_loss_db(self.reference_distance_m, self.frequency_hz)
+
+
+def free_space_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Friis free-space path loss in dB (distance clamped to 1 cm)."""
+    distance_m = max(distance_m, 0.01)
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+
+def path_loss_db(distance_m: float, config: RadioConfig) -> float:
+    """Log-distance path loss: free space to ``d0``, exponent beyond."""
+    distance_m = max(distance_m, config.min_distance_m)
+    ref = config.reference_loss_db()
+    return ref + 10.0 * config.path_loss_exponent * math.log10(
+        max(distance_m / config.reference_distance_m, 1e-9)
+    )
+
+
+def received_power_dbm(
+    tx_power_dbm: float, distance_m: float, config: RadioConfig
+) -> float:
+    """Mean received power before fading."""
+    return tx_power_dbm - path_loss_db(distance_m, config)
+
+
+def sinr_db(
+    signal_dbm: float, interference_dbm_values, noise_floor_dbm: float
+) -> float:
+    """Signal over (noise + sum of interference powers), in dB."""
+    noise_mw = 10.0 ** (noise_floor_dbm / 10.0)
+    interference_mw = sum(10.0 ** (p / 10.0) for p in interference_dbm_values)
+    return signal_dbm - 10.0 * math.log10(noise_mw + interference_mw)
+
+
+def ber_dbpsk(sinr_linear: float, processing_gain: float) -> float:
+    """DBPSK bit error rate with DSSS despreading gain."""
+    gamma = max(sinr_linear, 0.0) * processing_gain
+    return 0.5 * math.exp(-min(gamma, 700.0))
+
+
+def per_from_sinr_db(
+    sinr_value_db: float, packet_bits: int, processing_gain: float = 11.0
+) -> float:
+    """Packet error rate at a given (post-fading) SINR."""
+    sinr_linear = 10.0 ** (sinr_value_db / 10.0)
+    ber = ber_dbpsk(sinr_linear, processing_gain)
+    if ber <= 0.0:
+        return 0.0
+    # log1p formulation stays accurate for tiny BER.
+    log_success = packet_bits * math.log1p(-min(ber, 1.0 - 1e-15))
+    return 1.0 - math.exp(log_success)
+
+
+def sample_packet_loss(
+    mean_sinr_db: float,
+    packet_bits: int,
+    config: RadioConfig,
+    rng: np.random.Generator,
+) -> bool:
+    """Sample one packet's fate on a link with the given mean SINR.
+
+    Applies per-packet Rayleigh fading (exponential power gain, mean 1)
+    and log-normal shadowing to the *signal* term, then flips a coin at
+    the resulting PER.  Returns True when the packet is LOST.
+    """
+    faded_db = mean_sinr_db
+    if config.rayleigh_fading:
+        gain = rng.exponential(1.0)
+        faded_db += 10.0 * math.log10(max(gain, 1e-12))
+    if config.shadowing_sigma_db > 0:
+        faded_db += rng.normal(0.0, config.shadowing_sigma_db)
+    per = per_from_sinr_db(faded_db, packet_bits, config.processing_gain)
+    return bool(rng.random() < per)

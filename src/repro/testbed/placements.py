@@ -1,0 +1,79 @@
+"""Placement enumeration: the paper's experiment design.
+
+"We run one such experiment for each possible positioning of n terminals
+and Eve" — Eve takes one of the 9 cells, the terminals occupy n of the
+remaining 8, at most one node per cell.  That is ``9 * C(8, n)``
+placements per group size; :func:`enumerate_placements` yields exactly
+those, deterministically ordered, and :func:`sample_placements` draws a
+reproducible subset for quick runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Placement", "enumerate_placements", "sample_placements", "placement_count"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One positioning: Eve's cell plus the terminals' cells (sorted)."""
+
+    eve_cell: int
+    terminal_cells: tuple
+
+    def __post_init__(self) -> None:
+        if self.eve_cell in self.terminal_cells:
+            raise ValueError("Eve and a terminal cannot share a cell")
+        if len(set(self.terminal_cells)) != len(self.terminal_cells):
+            raise ValueError("terminals must occupy distinct cells")
+
+    @property
+    def n_terminals(self) -> int:
+        return len(self.terminal_cells)
+
+
+def enumerate_placements(n_terminals: int, n_cells: int = 9):
+    """Yield every (Eve cell, terminal cells) assignment.
+
+    Args:
+        n_terminals: group size n (the paper sweeps 3..8).
+        n_cells: total cells (9 for the paper's grid).
+
+    Yields:
+        :class:`Placement` in deterministic lexicographic order.
+    """
+    if not 1 <= n_terminals <= n_cells - 1:
+        raise ValueError(
+            f"n_terminals must be in [1, {n_cells - 1}], got {n_terminals}"
+        )
+    for eve_cell in range(n_cells):
+        others = [c for c in range(n_cells) if c != eve_cell]
+        for combo in itertools.combinations(others, n_terminals):
+            yield Placement(eve_cell=eve_cell, terminal_cells=tuple(combo))
+
+
+def placement_count(n_terminals: int, n_cells: int = 9) -> int:
+    """``n_cells * C(n_cells - 1, n_terminals)`` — the campaign size."""
+    return n_cells * math.comb(n_cells - 1, n_terminals)
+
+
+def sample_placements(
+    n_terminals: int,
+    k: int,
+    rng: np.random.Generator,
+    n_cells: int = 9,
+) -> list:
+    """Draw ``k`` distinct placements uniformly (reproducible via rng).
+
+    Returns all placements when ``k`` exceeds the population size.
+    """
+    population = list(enumerate_placements(n_terminals, n_cells))
+    if k >= len(population):
+        return population
+    indices = rng.choice(len(population), size=k, replace=False)
+    return [population[i] for i in sorted(indices)]

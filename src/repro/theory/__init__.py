@@ -1,0 +1,25 @@
+"""Analytic results: the efficiency curves behind Figure 1 and secrecy
+capacity bounds for erasure broadcast networks.
+
+See DESIGN.md §7 for the derivation the LP implements.
+"""
+
+from repro.theory.bounds import (
+    group_secret_upper_bound,
+    pairwise_secrecy_capacity,
+)
+from repro.theory.efficiency import (
+    group_efficiency,
+    group_efficiency_infinite,
+    group_efficiency_lp,
+    unicast_efficiency,
+)
+
+__all__ = [
+    "unicast_efficiency",
+    "group_efficiency",
+    "group_efficiency_lp",
+    "group_efficiency_infinite",
+    "pairwise_secrecy_capacity",
+    "group_secret_upper_bound",
+]

@@ -1,0 +1,53 @@
+"""Secrecy capacity bounds for broadcast erasure networks.
+
+These are the information-theoretic ceilings the protocol operates
+under; tests verify the implementation never exceeds them (a protocol
+"beating" capacity is measuring leakage wrong).
+
+With one-way discussion over a broadcast erasure network (the paper's
+setting, building on Wyner [2] and Maurer [3]):
+
+* **Pair-wise**: per x-packet, Alice-Bob can distil secrecy exactly when
+  Bob received it and Eve missed it: ``C = (1-p_B) * p_E`` packets of
+  secret per transmitted packet.
+* **Group**: the group secret is capped by the weakest terminal's
+  pair-wise capacity — redistribution cannot create new secrecy (phase 2
+  "does not increase the amount of secret information shared by Alice
+  with each terminal", §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["pairwise_secrecy_capacity", "group_secret_upper_bound"]
+
+
+def pairwise_secrecy_capacity(p_terminal: float, p_eve: float) -> float:
+    """Secret packets per transmitted packet for one Alice-terminal pair.
+
+    Args:
+        p_terminal: erasure probability Alice -> terminal.
+        p_eve: erasure probability Alice -> Eve.
+    """
+    for name, value in (("p_terminal", p_terminal), ("p_eve", p_eve)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    return (1.0 - p_terminal) * p_eve
+
+
+def group_secret_upper_bound(
+    p_terminals: Sequence[float], p_eve: float, n_packets: int
+) -> float:
+    """Upper bound on group-secret packets from one leader round.
+
+    The group secret cannot exceed any single terminal's pair-wise
+    distillable secrecy with the leader.
+    """
+    if n_packets < 0:
+        raise ValueError("n_packets must be non-negative")
+    if not p_terminals:
+        return 0.0
+    return n_packets * min(
+        pairwise_secrecy_capacity(p_t, p_eve) for p_t in p_terminals
+    )

@@ -1,0 +1,136 @@
+"""One-time MAC and the bootstrap/refresh channel."""
+
+import numpy as np
+import pytest
+
+from repro.auth.bootstrap import AuthenticatedChannel, BootstrapError
+from repro.auth.mac import MAC_KEY_BYTES, TAG_SYMBOLS, OneTimeMac, forgery_bound
+from repro.core.secret import GroupSecret
+
+
+class TestOneTimeMac:
+    def test_tag_verify_roundtrip(self, rng):
+        key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+        mac = OneTimeMac(key)
+        msg = b"hello group"
+        assert mac.verify(msg, mac.tag(msg))
+
+    def test_modified_message_rejected(self, rng):
+        key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+        mac = OneTimeMac(key)
+        tag = mac.tag(b"hello group")
+        assert not mac.verify(b"hello grouq", tag)
+
+    def test_truncated_tag_rejected(self, rng):
+        key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+        mac = OneTimeMac(key)
+        tag = mac.tag(b"x")
+        assert not mac.verify(b"x", tag[:-1])
+
+    def test_length_extension_rejected(self, rng):
+        key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+        mac = OneTimeMac(key)
+        tag = mac.tag(b"ab")
+        assert not mac.verify(b"ab\x00", tag)
+
+    def test_empty_message_supported(self, rng):
+        key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+        mac = OneTimeMac(key)
+        assert mac.verify(b"", mac.tag(b""))
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            OneTimeMac(b"short")
+
+    def test_different_keys_different_tags(self, rng):
+        msg = b"same message"
+        tags = set()
+        for _ in range(16):
+            key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+            tags.add(OneTimeMac(key).tag(msg))
+        assert len(tags) > 12  # overwhelmingly distinct
+
+    def test_forgery_bound_formula(self):
+        assert forgery_bound(1) == pytest.approx((1 / 256) ** TAG_SYMBOLS)
+        assert forgery_bound(256) == 1.0 ** TAG_SYMBOLS
+        with pytest.raises(ValueError):
+            forgery_bound(-1)
+
+    def test_empirical_forgery_rate_below_bound(self, rng):
+        """Random forgeries against random keys must succeed at most at
+        the analytical rate (here: essentially never for 4-symbol tags)."""
+        successes = 0
+        trials = 3000
+        msg = b"m1"
+        forged = b"m2"
+        for _ in range(trials):
+            key = bytes(rng.integers(0, 256, MAC_KEY_BYTES, dtype=np.uint8))
+            mac = OneTimeMac(key)
+            tag = mac.tag(msg)
+            if mac.verify(forged, tag):
+                successes += 1
+        assert successes == 0
+
+
+class TestAuthenticatedChannel:
+    def test_bootstrap_handshake(self):
+        boot = bytes(range(32))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        msg = b"round 0 start"
+        assert b.verify_next(msg, a.authenticate(msg))
+
+    def test_bootstrap_too_short(self):
+        with pytest.raises(BootstrapError):
+            AuthenticatedChannel.from_bootstrap(b"tiny")
+
+    def test_keys_are_single_use(self):
+        boot = bytes(range(32))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        m1, m2 = b"first", b"second"
+        t1 = a.authenticate(m1)
+        t2 = a.authenticate(m2)
+        assert b.verify_next(m1, t1)
+        assert b.verify_next(m2, t2)
+        # Replaying t1 against the next key slot fails.
+        a2 = AuthenticatedChannel.from_bootstrap(boot)
+        b2 = AuthenticatedChannel.from_bootstrap(boot)
+        t1 = a2.authenticate(m1)
+        b2.verify_next(m1, t1)
+        assert not b2.verify_next(m1, t1)
+
+    def test_forgery_burns_key(self):
+        boot = bytes(range(32))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        tag = a.authenticate(b"legit")
+        assert not b.verify_next(b"forged", tag)
+        # The burned key means the legit message now fails too — the
+        # sender must re-authenticate with the next key.
+        assert not b.verify_next(b"legit", tag)
+
+    def test_exhaustion_and_refresh(self, rng):
+        boot = bytes(range(MAC_KEY_BYTES))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        assert a.messages_remaining == 1
+        a.authenticate(b"only one")
+        with pytest.raises(BootstrapError):
+            a.authenticate(b"too many")
+        secret = GroupSecret(
+            rng.integers(0, 256, (2, 16), dtype=np.uint8)
+        )
+        a.refresh(secret)
+        assert a.messages_remaining == 4
+        a.authenticate(b"refilled")
+
+    def test_channels_stay_synchronized_after_refresh(self, rng):
+        boot = bytes(range(32))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        secret = GroupSecret(rng.integers(0, 256, (1, 32), dtype=np.uint8))
+        a.refresh(secret)
+        b.refresh(secret)
+        for k in range(5):
+            msg = f"epoch {k}".encode()
+            assert b.verify_next(msg, a.authenticate(msg))

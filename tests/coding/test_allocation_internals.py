@@ -1,0 +1,195 @@
+"""White-box tests for the allocation machinery: flow assignment, support
+growth, trimming, and the allocation LP."""
+
+import numpy as np
+import pytest
+
+from repro.coding.privacy import (
+    CombinationBlock,
+    _assign_ids_by_flow,
+    _candidate_subsets,
+    _grow_support,
+    _interleaved_pool,
+    _pattern_cells,
+    _trim_excess_rows,
+    plan_y_allocation,
+)
+from repro.gf.matrices import cauchy_matrix
+
+
+class TestPatternCells:
+    def test_partition_by_reception(self):
+        reports = {1: {0, 1, 2}, 2: {1, 2, 3}}
+        cells = _pattern_cells(reports)
+        assert cells[frozenset({1})] == [0]
+        assert cells[frozenset({1, 2})] == [1, 2]
+        assert cells[frozenset({2})] == [3]
+
+    def test_unreceived_packets_dropped(self):
+        cells = _pattern_cells({1: {5}})
+        assert sum(len(v) for v in cells.values()) == 1
+
+    def test_empty(self):
+        assert _pattern_cells({1: set(), 2: set()}) == {}
+
+
+class TestCandidateSubsets:
+    def test_all_subsets_of_patterns(self):
+        cells = {frozenset({1, 2}): [0]}
+        subsets = _candidate_subsets((1, 2), cells)
+        assert frozenset({1}) in subsets
+        assert frozenset({2}) in subsets
+        assert frozenset({1, 2}) in subsets
+
+    def test_size_cap(self):
+        cells = {frozenset({1, 2, 3}): [0]}
+        subsets = _candidate_subsets((1, 2, 3), cells, max_subset_size=1)
+        assert all(len(s) == 1 for s in subsets)
+
+    def test_large_receiver_fallback(self):
+        receivers = tuple(range(12))
+        cells = {frozenset(range(12)): [0], frozenset(range(6)): [1]}
+        subsets = _candidate_subsets(receivers, cells)
+        # Heuristic keeps the patterns, the full set, and one-removed sets.
+        assert frozenset(range(12)) in subsets
+        assert frozenset(range(6)) in subsets
+        assert len(subsets) < 200
+
+
+class TestFlowAssignment:
+    def test_respects_demands_when_feasible(self):
+        cells = {
+            frozenset({1}): [0, 1, 2],
+            frozenset({2}): [3, 4, 5],
+            frozenset({1, 2}): [6, 7],
+        }
+        demand = {frozenset({1}): 3, frozenset({2}): 3, frozenset({1, 2}): 2}
+        assignment = _assign_ids_by_flow(cells, demand)
+        for T, want in demand.items():
+            assert len(assignment[T]) == want
+        # Disjointness across subsets.
+        used = [i for ids in assignment.values() for i in ids]
+        assert len(used) == len(set(used))
+
+    def test_contention_resolved_without_starvation(self):
+        """Two singletons competing for one shared cell must split it
+        rather than letting the first take everything."""
+        cells = {frozenset({1, 2}): list(range(10))}
+        demand = {frozenset({1}): 5, frozenset({2}): 5}
+        assignment = _assign_ids_by_flow(cells, demand)
+        assert len(assignment[frozenset({1})]) == 5
+        assert len(assignment[frozenset({2})]) == 5
+
+    def test_infeasible_demands_partially_served(self):
+        cells = {frozenset({1}): [0, 1]}
+        demand = {frozenset({1}): 10}
+        assignment = _assign_ids_by_flow(cells, demand)
+        assert len(assignment[frozenset({1})]) == 2
+
+    def test_subset_only_draws_from_eligible_cells(self):
+        cells = {frozenset({1}): [0], frozenset({2}): [1]}
+        demand = {frozenset({1}): 1, frozenset({2}): 1}
+        assignment = _assign_ids_by_flow(cells, demand)
+        assert assignment[frozenset({1})] == [0]
+        assert assignment[frozenset({2})] == [1]
+
+    def test_empty_demand(self):
+        assert _assign_ids_by_flow({frozenset({1}): [0]}, {}) == {}
+
+
+class TestGrowSupport:
+    def budget(self, ids, exclude=frozenset()):
+        return 0.5 * len(ids)
+
+    def test_minimal_prefix(self):
+        pool = list(range(20))
+        support, rows = _grow_support(pool, 3, frozenset(), self.budget)
+        # 0.5 rate: 6 ids certify exactly 3.
+        assert rows == 3
+        assert len(support) == 6
+
+    def test_insufficient_pool_returns_what_it_can(self):
+        pool = list(range(4))
+        support, rows = _grow_support(pool, 10, frozenset(), self.budget)
+        assert rows == 2
+        assert support == pool
+
+    def test_zero_target(self):
+        assert _grow_support([1, 2], 0, frozenset(), self.budget) == ([], 0)
+
+    def test_empty_pool(self):
+        assert _grow_support([], 3, frozenset(), self.budget) == ([], 0)
+
+
+class TestTrimming:
+    def _block(self, subset, rows, offset=0):
+        support = tuple(range(offset, offset + rows + 2))
+        return CombinationBlock(
+            subset=frozenset(subset),
+            support=support,
+            matrix=cauchy_matrix(rows, len(support)),
+            certified_budget=rows,
+        )
+
+    def budget(self, ids, exclude=frozenset()):
+        return float(len(ids))
+
+    def test_trims_rows_above_group_minimum(self):
+        blocks = [self._block({1}, 10, 0), self._block({2}, 3, 20)]
+        trimmed = _trim_excess_rows(blocks, (1, 2), self.budget)
+        m1 = sum(b.rows for b in trimmed if 1 in b.subset)
+        m2 = sum(b.rows for b in trimmed if 2 in b.subset)
+        assert m2 == 3
+        assert m1 == 3  # excess rows served nobody
+
+    def test_shared_blocks_not_overtrimmed(self):
+        blocks = [self._block({1, 2}, 4, 0), self._block({1}, 2, 20)]
+        trimmed = _trim_excess_rows(blocks, (1, 2), self.budget)
+        m1 = sum(b.rows for b in trimmed if 1 in b.subset)
+        m2 = sum(b.rows for b in trimmed if 2 in b.subset)
+        assert m2 == 4  # the shared block is the minimum holder
+        assert m1 == 4  # the singleton surplus got trimmed
+
+    def test_balanced_input_untouched(self):
+        blocks = [self._block({1}, 3, 0), self._block({2}, 3, 20)]
+        trimmed = _trim_excess_rows(blocks, (1, 2), self.budget)
+        assert sum(b.rows for b in trimmed) == 6
+
+    def test_empty_inputs(self):
+        assert _trim_excess_rows([], (1,), self.budget) == []
+        blocks = [self._block({1}, 2, 0)]
+        assert _trim_excess_rows(blocks, (), self.budget) == blocks
+
+
+class TestZCostFactor:
+    def test_higher_z_cost_never_increases_z_share(self, rng):
+        reports = {
+            t: {i for i in range(80) if rng.random() > 0.4} for t in (1, 2, 3, 4)
+        }
+
+        def budget(ids, exclude=frozenset()):
+            return 0.35 * len(ids)
+
+        cheap = plan_y_allocation(reports, budget, 80, z_cost_factor=1.0)
+        dear = plan_y_allocation(reports, budget, 80, z_cost_factor=6.0)
+
+        def z_share(alloc):
+            if alloc.total_rows == 0:
+                return 0.0
+            return (alloc.total_rows - alloc.min_m_i()) / alloc.total_rows
+
+        assert z_share(dear) <= z_share(cheap) + 0.15
+
+
+class TestInterleavedPool:
+    def test_consumed_ids_excluded(self):
+        cells = {frozenset({1}): [0, 1, 2]}
+        remaining = {frozenset({1}): [1, 2]}
+        pool = _interleaved_pool(cells, remaining, frozenset({1}))
+        assert set(pool) == {1, 2}
+
+    def test_only_superset_patterns(self):
+        cells = {frozenset({1}): [0], frozenset({2}): [1]}
+        remaining = {k: list(v) for k, v in cells.items()}
+        pool = _interleaved_pool(cells, remaining, frozenset({1}))
+        assert pool == [0]

@@ -1,0 +1,98 @@
+"""Systematic MDS code: any-k decodability."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.mds import SystematicMDSCode
+
+
+class TestConstruction:
+    def test_generator_shape(self):
+        code = SystematicMDSCode(k=3, n=7)
+        assert code.generator.shape == (3, 7)
+
+    def test_systematic_prefix_is_identity(self):
+        code = SystematicMDSCode(k=4, n=9)
+        assert np.array_equal(code.generator.data[:, :4], np.eye(4, dtype=np.uint8))
+
+    def test_erasure_tolerance(self):
+        assert SystematicMDSCode(k=3, n=8).erasure_tolerance() == 5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SystematicMDSCode(k=0, n=3)
+        with pytest.raises(ValueError):
+            SystematicMDSCode(k=5, n=4)
+        with pytest.raises(ValueError):
+            SystematicMDSCode(k=200, n=300)
+
+    def test_rate_one_code(self):
+        code = SystematicMDSCode(k=3, n=3)
+        data = np.arange(9, dtype=np.uint8).reshape(3, 3)
+        assert np.array_equal(code.encode(data), data)
+
+    def test_repr(self):
+        assert "k=2" in repr(SystematicMDSCode(k=2, n=5))
+
+
+class TestEncodeDecode:
+    def test_systematic_rows_verbatim(self, rng):
+        code = SystematicMDSCode(k=3, n=6)
+        data = rng.integers(0, 256, (3, 10), dtype=np.uint8)
+        coded = code.encode(data)
+        assert np.array_equal(coded[:3], data)
+
+    def test_decode_from_any_k_subset(self, rng):
+        code = SystematicMDSCode(k=3, n=6)
+        data = rng.integers(0, 256, (3, 5), dtype=np.uint8)
+        coded = code.encode(data)
+        for subset in itertools.combinations(range(6), 3):
+            received = {i: coded[i] for i in subset}
+            assert np.array_equal(code.decode(received), data), subset
+
+    def test_decode_ignores_extras_deterministically(self, rng):
+        code = SystematicMDSCode(k=2, n=5)
+        data = rng.integers(0, 256, (2, 4), dtype=np.uint8)
+        coded = code.encode(data)
+        received = {i: coded[i] for i in range(5)}
+        assert np.array_equal(code.decode(received), data)
+
+    def test_decode_insufficient_raises(self, rng):
+        code = SystematicMDSCode(k=3, n=6)
+        data = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+        coded = code.encode(data)
+        with pytest.raises(ValueError):
+            code.decode({0: coded[0], 1: coded[1]})
+
+    def test_decode_bad_index_raises(self, rng):
+        code = SystematicMDSCode(k=2, n=4)
+        data = rng.integers(0, 256, (2, 4), dtype=np.uint8)
+        coded = code.encode(data)
+        with pytest.raises(ValueError):
+            code.decode({0: coded[0], 9: coded[1]})
+
+    def test_encode_wrong_row_count_raises(self, rng):
+        code = SystematicMDSCode(k=3, n=5)
+        with pytest.raises(ValueError):
+            code.encode(rng.integers(0, 256, (2, 4), dtype=np.uint8))
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, k, extra, payload):
+        n = k + extra
+        rng = np.random.default_rng(k * 100 + extra * 10 + payload)
+        code = SystematicMDSCode(k=k, n=n)
+        data = rng.integers(0, 256, (k, payload), dtype=np.uint8)
+        coded = code.encode(data)
+        # Random k-subset survives.
+        subset = rng.choice(n, size=k, replace=False)
+        received = {int(i): coded[int(i)] for i in subset}
+        assert np.array_equal(code.decode(received), data)

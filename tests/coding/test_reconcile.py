@@ -1,0 +1,132 @@
+"""Terminal-side decoding paths and their failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.coding.privacy import (
+    Phase2Chunk,
+    build_phase2_matrices,
+    plan_y_allocation,
+)
+from repro.coding.reconcile import (
+    assemble_secret,
+    decodable_y_indices,
+    decode_y_from_x,
+    recover_missing_y,
+)
+from repro.gf.linalg import GFMatrix
+from repro.gf.matrices import cauchy_matrix
+
+
+@pytest.fixture
+def scenario(rng):
+    n = 50
+    payloads = rng.integers(0, 256, (n, 12), dtype=np.uint8)
+    reports = {
+        t: {i for i in range(n) if rng.random() > 0.4} for t in (1, 2, 3)
+    }
+    eve_missed = {i for i in range(n) if rng.random() < 0.5}
+
+    def budget(ids, exclude=frozenset()):
+        return float(sum(1 for i in ids if i in eve_missed))
+
+    alloc = plan_y_allocation(reports, budget, n)
+    plan = build_phase2_matrices(alloc)
+    g = alloc.global_matrix(list(range(n)))
+    y_true = (g @ GFMatrix(payloads)).data
+    return n, payloads, reports, alloc, plan, y_true
+
+
+class TestDecodeYFromX:
+    def test_values_match_leader(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        for t in reports:
+            known = decode_y_from_x(alloc, t, {i: payloads[i] for i in reports[t]})
+            assert set(known) == set(decodable_y_indices(alloc, t))
+            for g_idx, val in known.items():
+                assert np.array_equal(val, y_true[g_idx])
+
+    def test_missing_support_packet_raises(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        target = None
+        for b in alloc.blocks:
+            if b.subset:
+                target = (next(iter(b.subset)), b.support[0])
+                break
+        if target is None:
+            pytest.skip("no blocks allocated")
+        t, xid = target
+        received = {i: payloads[i] for i in reports[t] if i != xid}
+        with pytest.raises(KeyError):
+            decode_y_from_x(alloc, t, received)
+
+    def test_unknown_terminal_decodes_nothing(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        assert decode_y_from_x(alloc, "stranger", {}) == {}
+
+
+class TestRecoverMissingY:
+    def test_full_recovery(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        for t in reports:
+            known = decode_y_from_x(alloc, t, {i: payloads[i] for i in reports[t]})
+            for chunk in plan.chunks:
+                z_vals = (chunk.z_matrix @ GFMatrix(y_true[list(chunk.y_rows)])).data
+                full = recover_missing_y(chunk, known, z_vals)
+                for g_idx in chunk.y_rows:
+                    assert np.array_equal(full[g_idx], y_true[g_idx])
+
+    def test_no_missing_shortcut(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        if not plan.chunks:
+            pytest.skip("no chunks")
+        chunk = plan.chunks[0]
+        known = {g: y_true[g] for g in chunk.y_rows}
+        z_vals = np.zeros((chunk.n_public, y_true.shape[1]), dtype=np.uint8)
+        full = recover_missing_y(chunk, known, z_vals)
+        assert set(full) == set(chunk.y_rows)
+
+    def test_too_many_missing_raises(self, rng):
+        # Hand-built chunk: 3 rows, only 1 z-packet.
+        square = cauchy_matrix(3, 3)
+        chunk = Phase2Chunk(
+            y_rows=(0, 1, 2),
+            z_matrix=square.take_rows([0]),
+            s_matrix=square.take_rows([1, 2]),
+        )
+        with pytest.raises(ValueError):
+            recover_missing_y(chunk, {}, np.zeros((1, 4), dtype=np.uint8))
+
+    def test_z_count_mismatch_raises(self, rng):
+        square = cauchy_matrix(3, 3)
+        chunk = Phase2Chunk(
+            y_rows=(0, 1, 2),
+            z_matrix=square.take_rows([0, 1]),
+            s_matrix=square.take_rows([2]),
+        )
+        known = {0: np.zeros(4, dtype=np.uint8)}
+        with pytest.raises(ValueError):
+            recover_missing_y(chunk, known, np.zeros((1, 4), dtype=np.uint8))
+
+
+class TestAssembleSecret:
+    def test_matches_direct_computation(self, scenario):
+        n, payloads, reports, alloc, plan, y_true = scenario
+        full = {g: y_true[g] for g in range(alloc.total_rows)}
+        secret = assemble_secret(plan, full)
+        expected = []
+        for chunk in plan.chunks:
+            if chunk.n_secret:
+                expected.append(
+                    (chunk.s_matrix @ GFMatrix(y_true[list(chunk.y_rows)])).data
+                )
+        if expected:
+            assert np.array_equal(secret, np.vstack(expected))
+        else:
+            assert secret.size == 0
+
+    def test_empty_plan(self):
+        from repro.coding.privacy import GroupCodingPlan
+
+        secret = assemble_secret(GroupCodingPlan(chunks=[]), {})
+        assert secret.shape == (0, 0)

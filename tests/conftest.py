@@ -1,0 +1,29 @@
+"""Shared fixtures: seeded RNGs and small network factories."""
+
+import numpy as np
+import pytest
+
+from repro.net.medium import BroadcastMedium, IIDLossModel
+from repro.net.node import Eavesdropper, Terminal
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; tests that need their own seed make one."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def make_medium():
+    """Factory for abstract broadcast media with n terminals + Eve."""
+
+    def _make(n_terminals=3, loss=0.4, seed=7, with_eve=True):
+        rng = np.random.default_rng(seed)
+        nodes = [Terminal(name=f"T{i}") for i in range(n_terminals)]
+        if with_eve:
+            nodes.append(Eavesdropper(name="eve"))
+        medium = BroadcastMedium(nodes, IIDLossModel(loss), rng)
+        names = [f"T{i}" for i in range(n_terminals)]
+        return medium, names, rng
+
+    return _make

@@ -1,0 +1,179 @@
+"""Estimators: every §3.3 strategy plus the combinators."""
+
+import pytest
+
+from repro.core.estimator import (
+    CollusionEstimator,
+    CombinedEstimator,
+    EveErasureEstimator,
+    FixedFractionEstimator,
+    LeaveOneOutEstimator,
+    NaiveLeaveOneOutEstimator,
+    OracleEstimator,
+    RoundContext,
+)
+
+
+def ctx(reports, n_packets=20, eve_received=None):
+    return RoundContext(
+        leader="T0",
+        reports=reports,
+        n_packets=n_packets,
+        eve_received=eve_received,
+    )
+
+
+class TestContext:
+    def test_miss_rate(self):
+        c = ctx({"T1": set(range(15))}, n_packets=20)
+        assert c.miss_rate("T1") == pytest.approx(0.25)
+
+    def test_miss_rate_requires_n_packets(self):
+        c = RoundContext(leader="T0", reports={"T1": set()})
+        with pytest.raises(ValueError):
+            c.miss_rate("T1")
+
+    def test_budget_before_begin_round_raises(self):
+        est = OracleEstimator()
+        with pytest.raises(RuntimeError):
+            est.budget([1, 2])
+
+
+class TestOracle:
+    def test_exact_count(self):
+        est = OracleEstimator()
+        est.begin_round(ctx({}, eve_received=frozenset({0, 1, 2})))
+        assert est.budget([0, 1, 2, 3, 4]) == 2
+
+    def test_requires_ground_truth(self):
+        est = OracleEstimator()
+        est.begin_round(ctx({}))
+        with pytest.raises(RuntimeError):
+            est.budget([1])
+
+
+class TestFixedFraction:
+    def test_linear(self):
+        est = FixedFractionEstimator(0.25)
+        est.begin_round(ctx({}))
+        assert est.budget(list(range(8))) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedFractionEstimator(1.5)
+
+
+class TestLeaveOneOut:
+    def test_worst_rate_times_size(self):
+        reports = {"T1": set(range(10)), "T2": set(range(15))}  # rates .5, .25
+        est = LeaveOneOutEstimator()
+        est.begin_round(ctx(reports, n_packets=20))
+        assert est.budget(list(range(8))) == pytest.approx(0.25 * 8)
+
+    def test_exclude_removes_evidence(self):
+        reports = {"T1": set(range(10)), "T2": set(range(15))}
+        est = LeaveOneOutEstimator()
+        est.begin_round(ctx(reports, n_packets=20))
+        # Excluding the best receiver leaves T1's rate 0.5.
+        assert est.budget(list(range(8)), exclude=frozenset({"T2"})) == pytest.approx(4.0)
+
+    def test_no_candidates_certifies_nothing(self):
+        est = LeaveOneOutEstimator()
+        est.begin_round(ctx({"T1": set()}, n_packets=20))
+        assert est.budget([1, 2], exclude=frozenset({"T1"})) == 0.0
+
+    def test_margin_subtracts_rate(self):
+        reports = {"T1": set(range(10))}  # rate 0.5
+        est = LeaveOneOutEstimator(rate_margin=0.2)
+        est.begin_round(ctx(reports, n_packets=20))
+        assert est.budget(list(range(10))) == pytest.approx(3.0)
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            LeaveOneOutEstimator(rate_margin=2.0)
+
+
+class TestNaiveLeaveOneOut:
+    def test_counts_directly(self):
+        reports = {"T1": {0, 1, 2}, "T2": {0}}
+        est = NaiveLeaveOneOutEstimator()
+        est.begin_round(ctx(reports, n_packets=5))
+        # min(|{3,4}\R1|, |{3,4}\R2|) = min(2, 2) = 2
+        assert est.budget([3, 4]) == 2.0
+        # ids T1 received: min(0, 1) = 0
+        assert est.budget([0, 1]) == 0.0
+
+    def test_margin(self):
+        est = NaiveLeaveOneOutEstimator(margin=1)
+        est.begin_round(ctx({"T1": set()}, n_packets=5))
+        assert est.budget([0, 1]) == 1.0
+        with pytest.raises(ValueError):
+            NaiveLeaveOneOutEstimator(margin=-1)
+
+
+class TestCollusion:
+    def test_k1_matches_leave_one_out(self):
+        reports = {"T1": set(range(10)), "T2": set(range(15))}
+        loo = LeaveOneOutEstimator()
+        col = CollusionEstimator(k=1)
+        context = ctx(reports, n_packets=20)
+        loo.begin_round(context)
+        col.begin_round(context)
+        ids = list(range(12))
+        assert col.budget(ids) == pytest.approx(loo.budget(ids))
+
+    def test_k2_uses_unions(self):
+        reports = {"T1": set(range(0, 10)), "T2": set(range(5, 15))}
+        est = CollusionEstimator(k=2)
+        est.begin_round(ctx(reports, n_packets=20))
+        # Union covers 0..14: rate 5/20.
+        assert est.budget(list(range(20))) == pytest.approx(5.0)
+
+    def test_insufficient_candidates(self):
+        est = CollusionEstimator(k=3)
+        est.begin_round(ctx({"T1": set(), "T2": set()}, n_packets=10))
+        assert est.budget([1, 2]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollusionEstimator(k=0)
+        with pytest.raises(ValueError):
+            CollusionEstimator(k=1, rate_margin=-0.1)
+
+    def test_collusion_more_conservative_than_loo(self):
+        reports = {
+            "T1": set(range(0, 12)),
+            "T2": set(range(6, 18)),
+            "T3": set(range(3, 9)),
+        }
+        context = ctx(reports, n_packets=24)
+        loo = LeaveOneOutEstimator()
+        col = CollusionEstimator(k=2)
+        loo.begin_round(context)
+        col.begin_round(context)
+        ids = list(range(24))
+        assert col.budget(ids) <= loo.budget(ids)
+
+
+class TestCombined:
+    def test_takes_minimum(self):
+        a = FixedFractionEstimator(0.5)
+        b = FixedFractionEstimator(0.2)
+        est = CombinedEstimator([a, b])
+        est.begin_round(ctx({}))
+        assert est.budget(list(range(10))) == pytest.approx(2.0)
+
+    def test_propagates_context(self):
+        inner = OracleEstimator()
+        est = CombinedEstimator([inner])
+        est.begin_round(ctx({}, eve_received=frozenset({1})))
+        assert est.budget([1, 2]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedEstimator([])
+
+    def test_budget_fn_adapter(self):
+        est = FixedFractionEstimator(0.5)
+        est.begin_round(ctx({}))
+        assert est.budget_fn()([1, 2], frozenset()) == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Eve's leakage accounting and the paper's two metrics."""
+
+import numpy as np
+import pytest
+
+from repro.coding.privacy import build_phase2_matrices, plan_y_allocation
+from repro.core.eve import LeakageReport, round_leakage, stacked_secret_maps
+from repro.core.metrics import ExperimentMetrics, efficiency, reliability
+from repro.net.packet import Packet, PacketKind
+from repro.net.trace import TransmissionLedger
+
+
+class TestLeakageReport:
+    def test_reliability_perfect(self):
+        r = LeakageReport(secret_dims=10, hidden_dims=10, eve_missed=5)
+        assert r.reliability == 1.0 and r.perfect
+
+    def test_reliability_partial(self):
+        r = LeakageReport(secret_dims=5, hidden_dims=1, eve_missed=5)
+        assert r.reliability == pytest.approx(0.2)
+        assert r.leaked_dims == 4
+        assert not r.perfect
+
+    def test_empty_secret_convention(self):
+        assert LeakageReport(0, 0, 3).reliability == 1.0
+
+
+class TestRoundLeakage:
+    def _setup(self, rng, eve_received):
+        n = 30
+        reports = {1: frozenset(range(0, 20)), 2: frozenset(range(10, 30))}
+        eve_missed = set(range(n)) - set(eve_received)
+
+        def oracle(ids, exclude=frozenset()):
+            return float(sum(1 for i in ids if i in eve_missed))
+
+        alloc = plan_y_allocation(reports, oracle, n)
+        plan = build_phase2_matrices(alloc)
+        return alloc, plan, n
+
+    def test_eve_sees_all_leaks_all(self, rng):
+        alloc, plan, n = self._setup(rng, range(30))
+        leakage = round_leakage(alloc, plan, frozenset(range(30)), list(range(n)))
+        assert leakage.hidden_dims == 0
+
+    def test_eve_sees_nothing_perfect(self, rng):
+        alloc, plan, n = self._setup(rng, [])
+        leakage = round_leakage(alloc, plan, frozenset(), list(range(n)))
+        if plan.total_secret:
+            assert leakage.perfect
+
+    def test_stacked_maps_shapes(self, rng):
+        alloc, plan, n = self._setup(rng, range(0, 15))
+        z_map, s_map = stacked_secret_maps(alloc, plan, list(range(n)))
+        assert z_map.cols == n and s_map.cols == n
+        assert z_map.rows == plan.total_public
+        assert s_map.rows == plan.total_secret
+
+    def test_leakage_monotone_in_eve_knowledge(self, rng):
+        """Giving Eve strictly more packets can never increase hidden
+        dimensions."""
+        alloc, plan, n = self._setup(rng, range(0, 10))
+        small = round_leakage(alloc, plan, frozenset(range(0, 10)), list(range(n)))
+        big = round_leakage(alloc, plan, frozenset(range(0, 20)), list(range(n)))
+        assert big.hidden_dims <= small.hidden_dims
+
+
+class TestMetrics:
+    def test_efficiency_basic(self):
+        assert efficiency(50, 1000) == 0.05
+        assert efficiency(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            efficiency(-1, 10)
+
+    def test_reliability_weighted_aggregation(self):
+        reports = [
+            LeakageReport(secret_dims=10, hidden_dims=10, eve_missed=1),
+            LeakageReport(secret_dims=10, hidden_dims=0, eve_missed=1),
+        ]
+        assert reliability(reports) == pytest.approx(0.5)
+
+    def test_reliability_empty(self):
+        assert reliability([]) == 1.0
+        assert reliability([LeakageReport(0, 0, 0)]) == 1.0
+
+    def test_experiment_metrics_compute(self):
+        ledger = TransmissionLedger(count_plcp=False)
+        ledger.charge(
+            Packet(kind=PacketKind.X_DATA, src="a",
+                   payload=np.zeros(125, dtype=np.uint8), header_bytes=0)
+        )
+        reports = [LeakageReport(secret_dims=5, hidden_dims=5, eve_missed=2)]
+        m = ExperimentMetrics.compute(reports, secret_bits=100, ledger=ledger)
+        assert m.transmitted_bits == 1000
+        assert m.efficiency == pytest.approx(0.1)
+        assert m.reliability == 1.0
+        assert m.secret_kbps_at == pytest.approx(100.0)

@@ -1,0 +1,107 @@
+"""Secret containers, the key pool, and control-message sizing."""
+
+import numpy as np
+import pytest
+
+from repro.coding.privacy import build_phase2_matrices, plan_y_allocation
+from repro.core.messages import (
+    BlockDescriptorSet,
+    Phase2Descriptor,
+    ReceptionReport,
+    z_content_overhead_bytes,
+)
+from repro.core.secret import GroupSecret, SecretPool
+
+
+class TestGroupSecret:
+    def test_sizes(self):
+        s = GroupSecret(np.zeros((3, 10), dtype=np.uint8))
+        assert s.n_packets == 3
+        assert s.n_bits == 240
+        assert len(s.to_bytes()) == 30
+
+    def test_equality_and_hash(self, rng):
+        data = rng.integers(0, 256, (2, 5), dtype=np.uint8)
+        assert GroupSecret(data) == GroupSecret(data.copy())
+        assert hash(GroupSecret(data)) == hash(GroupSecret(data.copy()))
+        other = data.copy()
+        other[0, 0] ^= 1
+        assert GroupSecret(data) != GroupSecret(other)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GroupSecret(np.zeros(5, dtype=np.uint8))
+
+
+class TestSecretPool:
+    def test_deposit_and_consume(self):
+        pool = SecretPool()
+        pool.deposit(GroupSecret(np.arange(12, dtype=np.uint8).reshape(3, 4)))
+        assert pool.available_bytes == 12
+        out = pool.consume(5)
+        assert out == bytes(range(5))
+        assert pool.available_bytes == 7
+        assert pool.consumed_bytes == 5
+
+    def test_consume_is_one_time(self):
+        pool = SecretPool()
+        pool.deposit_raw(b"abcdef")
+        first = pool.consume(3)
+        second = pool.consume(3)
+        assert first == b"abc" and second == b"def"
+
+    def test_exhaustion_raises(self):
+        pool = SecretPool()
+        pool.deposit_raw(b"ab")
+        with pytest.raises(LookupError):
+            pool.consume(3)
+
+    def test_negative_amount(self):
+        with pytest.raises(ValueError):
+            SecretPool().consume(-1)
+
+    def test_one_time_pad_roundtrip(self):
+        a = SecretPool()
+        b = SecretPool()
+        a.deposit_raw(bytes(range(64)))
+        b.deposit_raw(bytes(range(64)))
+        msg = b"attack at dawn"
+        ct = a.one_time_pad(msg)
+        assert ct != msg
+        assert b.one_time_pad(ct) == msg
+
+
+class TestMessageSizes:
+    def test_reception_report_bitmap(self):
+        r = ReceptionReport(round_id=0, terminal="T1",
+                            received_ids=frozenset({1, 2}), n_packets=90)
+        # 2 + 2 + ceil(90/8) = 16
+        assert r.body_bytes() == 16
+
+    def test_block_descriptor_grows_with_support(self, rng):
+        reports = {1: set(range(30)), 2: set(range(10, 40))}
+
+        def budget(ids, exclude=frozenset()):
+            return 0.4 * len(ids)
+
+        alloc = plan_y_allocation(reports, budget, 40)
+        desc = BlockDescriptorSet.from_allocation(0, alloc)
+        expected = 2
+        for b in alloc.blocks:
+            expected += 7 + 2 * len(b.support)
+        assert desc.body_bytes() == expected
+
+    def test_phase2_descriptor(self, rng):
+        reports = {1: set(range(30)), 2: set(range(10, 40))}
+
+        def budget(ids, exclude=frozenset()):
+            return 0.4 * len(ids)
+
+        alloc = plan_y_allocation(reports, budget, 40)
+        plan = build_phase2_matrices(alloc)
+        desc = Phase2Descriptor.from_plan(0, plan)
+        assert desc.body_bytes() == 2 + 4 * len(plan.chunks)
+        assert sum(desc.chunk_sizes) == alloc.total_rows
+
+    def test_z_overhead_constant(self):
+        assert z_content_overhead_bytes() == 4

@@ -1,0 +1,166 @@
+"""End-to-end runs: testbed experiments, bursty channels, multi-antenna
+Eve, and cross-cutting invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    CollusionEstimator,
+    CombinedEstimator,
+    LeaveOneOutEstimator,
+    OracleEstimator,
+)
+from repro.core.rotation import run_experiment
+from repro.core.session import ProtocolSession, SessionConfig
+from repro.net.channel import GilbertElliottChannel
+from repro.net.medium import BroadcastMedium, ChannelLossModel
+from repro.net.node import Eavesdropper, Terminal
+from repro.testbed.deployment import Testbed, TestbedConfig
+from repro.testbed.estimator import InterferenceAwareEstimator
+from repro.testbed.placements import Placement
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(TestbedConfig(interferer_power_dbm=10.0))
+
+
+class TestTestbedEndToEnd:
+    def test_oracle_on_testbed_is_perfect(self, testbed):
+        rng = np.random.default_rng(5)
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+        medium, names = testbed.build_medium(placement, rng)
+        result = run_experiment(
+            medium, names, OracleEstimator(), rng,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32),
+        )
+        assert result.reliability == 1.0
+        assert result.secret_bits > 0
+        assert 0 < result.efficiency < 1
+
+    def test_interference_aware_estimator_high_reliability(self, testbed):
+        rng = np.random.default_rng(6)
+        placement = Placement(
+            eve_cell=4, terminal_cells=(0, 1, 2, 3, 5, 6, 7, 8)
+        )
+        medium, names = testbed.build_medium(placement, rng)
+        estimator = InterferenceAwareEstimator(
+            testbed.interference,
+            testbed.config.geometry,
+            min_jam_loss=0.6,
+            candidate_cells=testbed.eve_candidate_cells(placement),
+        )
+        result = run_experiment(
+            medium, names, estimator, rng,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32,
+                                 secrecy_slack=1),
+        )
+        assert result.reliability >= 0.9
+        assert result.secret_bits > 0
+
+    def test_no_interference_starves_the_protocol(self):
+        """Ablation: without artificial interference Eve hears nearly
+        everything (LOS links), so oracle-budgeted secrets are tiny."""
+        quiet = Testbed(
+            TestbedConfig(interference_enabled=False, base_loss=0.02)
+        )
+        rng = np.random.default_rng(7)
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6))
+        medium, names = quiet.build_medium(placement, rng)
+        result = run_experiment(
+            medium, names, OracleEstimator(), rng,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32),
+        )
+        noisy = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+        rng2 = np.random.default_rng(7)
+        medium2, names2 = noisy.build_medium(placement, rng2)
+        loud = run_experiment(
+            medium2, names2, OracleEstimator(), rng2,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32),
+        )
+        assert loud.secret_bits > 3 * max(result.secret_bits, 1)
+
+    def test_multi_antenna_eve_reduces_secret(self, testbed):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6))
+        single = np.random.default_rng(8)
+        medium1, names = testbed.build_medium(placement, single)
+        r1 = run_experiment(
+            medium1, names, OracleEstimator(), single,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32),
+        )
+        multi = np.random.default_rng(8)
+        medium2, names2 = testbed.build_medium(
+            placement, multi, eve_extra_cells=(1, 8)
+        )
+        r2 = run_experiment(
+            medium2, names2, OracleEstimator(), multi,
+            config=SessionConfig(n_x_packets=90, payload_bytes=32),
+        )
+        # More antennas -> fewer Eve misses -> smaller (still perfect) secret.
+        assert r2.secret_bits < r1.secret_bits
+        assert r2.reliability == 1.0
+
+    def test_collusion_estimator_defends_multi_antenna(self, testbed):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 1, 2, 5, 6, 7))
+        rng = np.random.default_rng(9)
+        medium, names = testbed.build_medium(
+            placement, rng, eve_extra_cells=(8,)
+        )
+        loo = run_experiment(
+            medium, names,
+            LeaveOneOutEstimator(rate_margin=0.05), rng,
+            config=SessionConfig(n_x_packets=90, payload_bytes=16,
+                                 secrecy_slack=1),
+        )
+        rng2 = np.random.default_rng(9)
+        medium2, names2 = testbed.build_medium(
+            placement, rng2, eve_extra_cells=(8,)
+        )
+        collusion = run_experiment(
+            medium2, names2,
+            CollusionEstimator(k=2, rate_margin=0.05), rng2,
+            config=SessionConfig(n_x_packets=90, payload_bytes=16,
+                                 secrecy_slack=1),
+        )
+        assert collusion.reliability >= loo.reliability - 0.05
+
+
+class TestBurstyChannels:
+    def test_protocol_survives_gilbert_elliott(self):
+        """Bursty erasures change rates, never correctness: terminals
+        still agree and oracle secrecy still holds exactly."""
+        rng = np.random.default_rng(11)
+        names = ["T0", "T1", "T2"]
+        nodes = [Terminal(name=n) for n in names] + [Eavesdropper(name="eve")]
+        model = ChannelLossModel(
+            {},
+            default_factory=lambda: GilbertElliottChannel(
+                p_g2b=0.08, p_b2g=0.25
+            ),
+        )
+        medium = BroadcastMedium(nodes, model, rng)
+        result = run_experiment(
+            medium, names, OracleEstimator(), rng,
+            config=SessionConfig(n_x_packets=120, payload_bytes=16),
+        )
+        assert result.reliability == 1.0
+
+
+class TestCombinedEstimatorEndToEnd:
+    def test_combined_never_less_reliable_than_loosest(self, testbed):
+        placement = Placement(eve_cell=0, terminal_cells=(1, 2, 3, 4, 5, 6, 7, 8))
+        cfg = SessionConfig(n_x_packets=90, payload_bytes=16, secrecy_slack=1)
+
+        def run_with(estimator, seed=13):
+            rng = np.random.default_rng(seed)
+            medium, names = testbed.build_medium(placement, rng)
+            return run_experiment(medium, names, estimator, rng, config=cfg)
+
+        ia = InterferenceAwareEstimator(
+            testbed.interference, testbed.config.geometry, 0.6,
+            candidate_cells=testbed.eve_candidate_cells(placement),
+        )
+        loo = LeaveOneOutEstimator()
+        combined = run_with(CombinedEstimator([ia, loo]))
+        loo_only = run_with(LeaveOneOutEstimator())
+        assert combined.reliability >= loo_only.reliability - 1e-9

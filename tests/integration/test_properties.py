@@ -1,0 +1,115 @@
+"""Property-based end-to-end invariants.
+
+Hypothesis drives the protocol across random group sizes, loss rates,
+payload sizes and estimator choices; these invariants must hold on
+every draw:
+
+1. **Agreement** — every terminal derives the identical secret (the
+   session raises ProtocolError otherwise, so completing a round *is*
+   the assertion).
+2. **Conservation** — the secret is never longer than min_i M_i, and
+   phase 2 publishes exactly M − L_cap z-packets.
+3. **Oracle soundness** — ground-truth budgets never leak.
+4. **Accounting** — efficiency equals secret bits over ledger bits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import FixedFractionEstimator, OracleEstimator
+from repro.core.session import ProtocolSession, SessionConfig
+from repro.net.medium import BroadcastMedium, IIDLossModel
+from repro.net.node import Eavesdropper, Terminal
+
+SET = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(seed, n_terminals, loss):
+    rng = np.random.default_rng(seed)
+    names = [f"T{i}" for i in range(n_terminals)]
+    nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+    medium = BroadcastMedium(nodes, IIDLossModel(loss), rng)
+    return medium, names, rng
+
+
+class TestEndToEndProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n_terminals=st.integers(min_value=2, max_value=5),
+        loss=st.floats(min_value=0.05, max_value=0.6),
+        payload=st.integers(min_value=1, max_value=64),
+    )
+    @SET
+    def test_oracle_rounds_agree_and_never_leak(
+        self, seed, n_terminals, loss, payload
+    ):
+        medium, names, rng = build(seed, n_terminals, loss)
+        cfg = SessionConfig(n_x_packets=36, payload_bytes=payload)
+        session = ProtocolSession(
+            medium, names, OracleEstimator(), rng, config=cfg
+        )
+        result = session.run_round(names[0])  # agreement asserted inside
+        assert result.leakage.perfect
+        assert result.secret_packets <= result.allocation.min_m_i()
+        if result.secret.size:
+            assert result.secret.shape[1] == payload
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        fraction=st.floats(min_value=0.0, max_value=0.6),
+        slack=st.integers(min_value=0, max_value=3),
+    )
+    @SET
+    def test_fixed_fraction_rounds_always_complete(self, seed, fraction, slack):
+        """Even badly calibrated estimators must never break agreement
+        or accounting — only secrecy (measured, not assumed)."""
+        medium, names, rng = build(seed, 3, 0.3)
+        cfg = SessionConfig(
+            n_x_packets=30, payload_bytes=8, secrecy_slack=slack
+        )
+        session = ProtocolSession(
+            medium, names, FixedFractionEstimator(fraction), rng, config=cfg
+        )
+        result = session.run_round(names[0])
+        assert 0.0 <= result.leakage.reliability <= 1.0
+        l_cap = result.allocation.min_m_i()
+        assert result.secret_packets <= max(0, l_cap - slack) or l_cap == 0
+        assert result.plan.total_public == result.allocation.total_rows - l_cap
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @SET
+    def test_efficiency_accounting_exact(self, seed):
+        medium, names, rng = build(seed, 3, 0.35)
+        cfg = SessionConfig(n_x_packets=30, payload_bytes=16)
+        session = ProtocolSession(
+            medium, names, OracleEstimator(), rng, config=cfg
+        )
+        result = session.run_round(names[0])
+        from repro.core.metrics import efficiency
+
+        eff = efficiency(result.secret_bits, medium.ledger.total_bits)
+        assert eff == result.secret_bits / medium.ledger.total_bits
+        assert 0.0 <= eff < 1.0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        loss=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @SET
+    def test_secret_bits_capped_by_eve_misses(self, seed, loss):
+        """Information-theoretic sanity: the round's secret cannot
+        exceed what Eve physically missed."""
+        medium, names, rng = build(seed, 3, loss)
+        cfg = SessionConfig(n_x_packets=40, payload_bytes=8)
+        session = ProtocolSession(
+            medium, names, OracleEstimator(), rng, config=cfg
+        )
+        result = session.run_round(names[0])
+        eve_missed = cfg.n_x_packets - len(result.eve_received_ids)
+        assert result.secret_packets <= eve_missed

@@ -1,0 +1,93 @@
+"""Erasure channel models: rates, burstiness, scripting."""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import (
+    DeterministicChannel,
+    GilbertElliottChannel,
+    IIDErasureChannel,
+    PerfectChannel,
+)
+
+
+class TestIID:
+    def test_rate_matches_p(self, rng):
+        ch = IIDErasureChannel(0.3)
+        losses = ch.sample(20_000, rng)
+        assert abs(losses.mean() - 0.3) < 0.02
+
+    def test_extremes(self, rng):
+        assert not IIDErasureChannel(0.0).erased(rng)
+        assert IIDErasureChannel(1.0).erased(rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IIDErasureChannel(-0.1)
+        with pytest.raises(ValueError):
+            IIDErasureChannel(1.1)
+
+    def test_perfect_channel(self, rng):
+        ch = PerfectChannel()
+        assert not ch.sample(100, rng).any()
+
+    def test_repr(self):
+        assert "0.3" in repr(IIDErasureChannel(0.3))
+        assert "Perfect" in repr(PerfectChannel())
+
+
+class TestGilbertElliott:
+    def test_steady_state_formula(self):
+        ch = GilbertElliottChannel(p_g2b=0.1, p_b2g=0.3, p_good=0.0, p_bad=1.0)
+        expected = 0.1 / (0.1 + 0.3)
+        assert abs(ch.steady_state_loss() - expected) < 1e-12
+
+    def test_empirical_rate_matches_steady_state(self, rng):
+        ch = GilbertElliottChannel(p_g2b=0.05, p_b2g=0.2)
+        losses = ch.sample(50_000, rng)
+        assert abs(losses.mean() - ch.steady_state_loss()) < 0.02
+
+    def test_burstiness(self, rng):
+        """Losses must cluster: consecutive-loss probability well above
+        the i.i.d. baseline for the same loss rate."""
+        ch = GilbertElliottChannel(p_g2b=0.02, p_b2g=0.2)
+        losses = ch.sample(50_000, rng)
+        rate = losses.mean()
+        joint = np.mean(losses[:-1] & losses[1:])
+        assert joint > 2.0 * rate * rate
+
+    def test_reset(self, rng):
+        ch = GilbertElliottChannel(p_g2b=1.0, p_b2g=0.0)
+        ch.erased(rng)
+        assert ch._bad
+        ch.reset()
+        assert not ch._bad
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_g2b=0.0, p_b2g=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_g2b=1.2, p_b2g=0.1)
+
+    def test_repr(self):
+        assert "g2b" in repr(GilbertElliottChannel(0.1, 0.2))
+
+
+class TestDeterministic:
+    def test_pattern_cycles(self, rng):
+        ch = DeterministicChannel([True, False, False])
+        observed = [ch.erased(rng) for _ in range(6)]
+        assert observed == [True, False, False, True, False, False]
+
+    def test_reset(self, rng):
+        ch = DeterministicChannel([True, False])
+        ch.erased(rng)
+        ch.reset()
+        assert ch.erased(rng) is True
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicChannel([])
+
+    def test_repr(self):
+        assert "len=2" in repr(DeterministicChannel([True, False]))

@@ -1,0 +1,27 @@
+"""Base-class behaviour and remaining channel paths."""
+
+import numpy as np
+
+from repro.net.channel import DeterministicChannel, GilbertElliottChannel
+
+
+class TestSampleDefaultPath:
+    def test_deterministic_sample_uses_erased_loop(self, rng):
+        ch = DeterministicChannel([True, False, True])
+        out = ch.sample(6, rng)
+        assert out.tolist() == [True, False, True, True, False, True]
+
+    def test_ge_sample_shape_and_dtype(self, rng):
+        ch = GilbertElliottChannel(0.1, 0.3)
+        out = ch.sample(100, rng)
+        assert out.shape == (100,)
+        assert out.dtype == bool
+
+    def test_base_reset_noop(self, rng):
+        ch = GilbertElliottChannel(0.1, 0.3)
+        # reset is overridden; the base no-op is exercised through
+        # DeterministicChannel's parent call path implicitly — verify
+        # idempotence here.
+        ch.reset()
+        ch.reset()
+        assert not ch._bad

@@ -1,0 +1,131 @@
+"""PHY model: path loss, SINR, PER curves and fading statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.radio import (
+    RadioConfig,
+    ber_dbpsk,
+    free_space_loss_db,
+    path_loss_db,
+    per_from_sinr_db,
+    received_power_dbm,
+    sample_packet_loss,
+    sinr_db,
+)
+
+
+class TestPathLoss:
+    def test_friis_at_known_point(self):
+        # 2.4 GHz at 1 m is ~40 dB.
+        loss = free_space_loss_db(1.0, 2.472e9)
+        assert 39.0 < loss < 41.0
+
+    def test_monotone_in_distance(self):
+        cfg = RadioConfig()
+        losses = [path_loss_db(d, cfg) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_exponent_slope(self):
+        cfg = RadioConfig(path_loss_exponent=2.0)
+        # Doubling distance adds 6 dB at exponent 2.
+        delta = path_loss_db(2.0, cfg) - path_loss_db(1.0, cfg)
+        assert abs(delta - 6.02) < 0.1
+
+    def test_distance_clamped(self):
+        cfg = RadioConfig(min_distance_m=0.1)
+        assert path_loss_db(0.0, cfg) == path_loss_db(0.1, cfg)
+
+    def test_received_power(self):
+        cfg = RadioConfig(tx_power_dbm=3.0)
+        assert received_power_dbm(3.0, 1.0, cfg) == pytest.approx(
+            3.0 - cfg.reference_loss_db()
+        )
+
+
+class TestSinr:
+    def test_no_interference_equals_snr(self):
+        assert sinr_db(-50.0, [], -95.0) == pytest.approx(45.0)
+
+    def test_interference_reduces_sinr(self):
+        clean = sinr_db(-50.0, [], -95.0)
+        jammed = sinr_db(-50.0, [-55.0], -95.0)
+        assert jammed < clean
+        # Interference 40 dB above noise dominates: SINR ~ signal - interference.
+        assert jammed == pytest.approx(5.0, abs=0.1)
+
+    def test_multiple_interferers_sum(self):
+        one = sinr_db(-50.0, [-60.0], -95.0)
+        two = sinr_db(-50.0, [-60.0, -60.0], -95.0)
+        assert two == pytest.approx(one - 3.0, abs=0.1)
+
+
+class TestPer:
+    def test_ber_decreasing(self):
+        gammas = [0.1, 0.5, 1.0, 5.0]
+        bers = [ber_dbpsk(g, 11.0) for g in gammas]
+        assert all(a > b for a, b in zip(bers, bers[1:]))
+
+    def test_per_monotone_in_sinr(self):
+        pers = [per_from_sinr_db(s, 800) for s in (-10, -5, 0, 5, 10)]
+        assert all(a >= b for a, b in zip(pers, pers[1:]))
+
+    def test_per_extremes(self):
+        assert per_from_sinr_db(-20, 800) == pytest.approx(1.0)
+        assert per_from_sinr_db(30, 800) == pytest.approx(0.0, abs=1e-9)
+
+    def test_per_grows_with_packet_size(self):
+        assert per_from_sinr_db(0, 8000) > per_from_sinr_db(0, 80)
+
+    def test_waterfall_position(self):
+        # With PG=11, the 50% point sits around -1..0 dB for 800 bits.
+        mid = per_from_sinr_db(-0.5, 800)
+        assert 0.01 < mid < 0.99
+
+
+class TestFadingSampler:
+    def test_loss_rate_between_extremes(self):
+        cfg = RadioConfig(shadowing_sigma_db=0.0)
+        rng = np.random.default_rng(5)
+        high = np.mean(
+            [sample_packet_loss(-10.0, 800, cfg, rng) for _ in range(2000)]
+        )
+        low = np.mean(
+            [sample_packet_loss(20.0, 800, cfg, rng) for _ in range(2000)]
+        )
+        assert high > 0.85
+        assert low < 0.15
+
+    def test_rayleigh_outage_approximation(self):
+        """At mean SINR gamma_bar, Rayleigh outage ~ 1 - exp(-gamma_th /
+        gamma_bar); the sampled loss must sit in that regime."""
+        cfg = RadioConfig(shadowing_sigma_db=0.0)
+        rng = np.random.default_rng(11)
+        mean_sinr_db = 6.0
+        samples = [
+            sample_packet_loss(mean_sinr_db, 800, cfg, rng) for _ in range(4000)
+        ]
+        measured = np.mean(samples)
+        gamma_bar = 10 ** (mean_sinr_db / 10)
+        approx = 1 - math.exp(-1.0 / gamma_bar)  # threshold ~ 0 dB
+        assert abs(measured - approx) < 0.12
+
+    def test_no_fading_is_deterministic_at_extremes(self):
+        cfg = RadioConfig(rayleigh_fading=False, shadowing_sigma_db=0.0)
+        rng = np.random.default_rng(1)
+        assert not any(
+            sample_packet_loss(20.0, 800, cfg, rng) for _ in range(100)
+        )
+        assert all(
+            sample_packet_loss(-20.0, 800, cfg, rng) for _ in range(100)
+        )
+
+
+class TestRadioConfig:
+    def test_defaults_match_paper(self):
+        cfg = RadioConfig()
+        assert cfg.frequency_hz == pytest.approx(2.472e9)
+        assert cfg.tx_power_dbm == 3.0
+        assert cfg.bitrate_bps == 1e6

@@ -1,0 +1,122 @@
+"""Reliable broadcast: completion, cost accounting, backoff."""
+
+import numpy as np
+import pytest
+
+from repro.net.medium import BroadcastMedium, IIDLossModel, MatrixLossModel
+from repro.net.node import Terminal
+from repro.net.packet import Packet, PacketKind
+from repro.net.reliable import (
+    ACK_BODY_BYTES,
+    ReliableBroadcastError,
+    reliable_broadcast,
+)
+
+
+def control_packet(src="T0"):
+    return Packet(kind=PacketKind.DESCRIPTOR, src=src, control_bytes=40)
+
+
+class TestCompletion:
+    def test_lossless_single_attempt(self, make_medium):
+        medium, names, _ = make_medium(loss=0.0)
+        res = reliable_broadcast(medium, "T0", control_packet(), ["T1", "T2"])
+        assert res.attempts == 1
+        assert res.satisfied == frozenset({"T1", "T2"})
+
+    def test_lossy_eventually_completes(self, make_medium):
+        medium, names, _ = make_medium(loss=0.6, seed=11)
+        res = reliable_broadcast(medium, "T0", control_packet(), ["T1", "T2"])
+        assert res.attempts >= 1
+        union = set()
+        for got in res.receivers_per_attempt:
+            union |= got
+        assert {"T1", "T2"} <= union
+
+    def test_source_excluded_from_targets(self, make_medium):
+        medium, names, _ = make_medium(loss=0.0)
+        res = reliable_broadcast(medium, "T0", control_packet(), ["T0", "T1"])
+        assert res.satisfied == frozenset({"T1"})
+
+    def test_unreachable_target_raises(self, rng):
+        nodes = [Terminal(name="a"), Terminal(name="b")]
+        medium = BroadcastMedium(
+            nodes, MatrixLossModel({("a", "b"): 1.0}, default=0.0), rng
+        )
+        with pytest.raises(ReliableBroadcastError):
+            reliable_broadcast(
+                medium, "a", control_packet("a"), ["b"], max_attempts=5
+            )
+
+    def test_empty_targets_no_transmissions(self, make_medium):
+        medium, names, _ = make_medium()
+        res = reliable_broadcast(medium, "T0", control_packet(), [])
+        assert res.attempts == 0
+        assert medium.ledger.total_attempts == 0
+
+
+class TestAccounting:
+    def test_every_attempt_charged(self, make_medium):
+        medium, names, _ = make_medium(loss=0.5, seed=13)
+        pkt = control_packet()
+        res = reliable_broadcast(medium, "T0", pkt, ["T1", "T2"])
+        by_kind = medium.ledger.bits_by_kind()
+        attempts_bits = by_kind[PacketKind.DESCRIPTOR]
+        assert attempts_bits >= res.attempts * pkt.wire_bits
+
+    def test_ack_per_satisfied_target(self, make_medium):
+        medium, names, _ = make_medium(loss=0.0)
+        reliable_broadcast(medium, "T0", control_packet(), ["T1", "T2"])
+        acks = [e for e in medium.ledger.entries if e.kind == PacketKind.ACK]
+        assert len(acks) == 2
+        for e in acks:
+            assert e.bits >= ACK_BODY_BYTES * 8
+
+    def test_eavesdropper_can_overhear_attempts(self, make_medium):
+        medium, names, _ = make_medium(loss=0.3, seed=5)
+        res = reliable_broadcast(medium, "T0", control_packet(), ["T1", "T2"])
+        overheard = any("eve" in got for got in res.receivers_per_attempt)
+        # With loss 0.3 and >= 1 attempt, Eve usually hears; the field
+        # exists so the session can track her honestly either way.
+        assert isinstance(overheard, bool)
+
+
+class TestBackoff:
+    def test_backoff_advances_clock_between_retries(self, rng):
+        nodes = [Terminal(name="a"), Terminal(name="b")]
+
+        class FailFirstN(IIDLossModel):
+            def __init__(self, n):
+                super().__init__(0.0)
+                self.n = n
+                self.calls = 0
+
+            def lost_at(self, src, position, dst, packet, slot, rng):
+                self.calls += 1
+                return self.calls <= self.n
+
+        medium = BroadcastMedium(nodes, FailFirstN(2), rng)
+        res = reliable_broadcast(
+            medium, "a", control_packet("a"), ["b"], backoff_slots=4
+        )
+        assert res.attempts == 3
+        # 3 transmissions advance 3 slots; 2 backoffs add 8 more.
+        assert medium.time == 3 + 8
+
+    def test_no_backoff_by_default(self, make_medium):
+        medium, names, _ = make_medium(loss=0.0)
+        reliable_broadcast(medium, "T0", control_packet(), ["T1"])
+        assert medium.time == 1
+
+    def test_explicit_slot_schedule(self, make_medium):
+        medium, names, _ = make_medium(loss=0.0)
+        slots_used = []
+        reliable_broadcast(
+            medium,
+            "T0",
+            control_packet(),
+            ["T1"],
+            slot_of_attempt=lambda k: slots_used.append(k) or 42,
+        )
+        assert slots_used == [0]
+        assert medium.time == 0  # explicit slots freeze the clock

@@ -1,0 +1,41 @@
+"""CLI subcommands print the expected tables."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure2_options(self):
+        args = build_parser().parse_args(["figure2", "--per-n", "3"])
+        assert args.command == "figure2"
+        assert args.per_n == 3
+        assert not args.full
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "7", "quickstart"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "n=inf" in out
+        assert "0.250" in out  # the peak
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "reliability 1.000" in out
+
+    @pytest.mark.slow
+    def test_figure2_small(self, capsys):
+        assert main(["--seed", "3", "figure2", "--per-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out

@@ -1,0 +1,82 @@
+"""Geometry: the paper's 14 m² / 3×3 grid numbers."""
+
+import math
+
+import pytest
+
+from repro.testbed.geometry import TestbedGeometry
+
+
+class TestPaperNumbers:
+    def test_cell_diagonal_is_papers_min_distance(self):
+        g = TestbedGeometry()
+        # The paper: minimum distance 1.75 m = diagonal of a logical cell.
+        assert abs(g.cell_diagonal_m - 1.75) < 0.02
+
+    def test_area_and_side(self):
+        g = TestbedGeometry()
+        assert g.side_m == pytest.approx(math.sqrt(14.0))
+        assert g.n_cells == 9
+
+
+class TestIndexing:
+    def test_row_col_roundtrip(self):
+        g = TestbedGeometry()
+        for cell in g.all_cells():
+            assert g.row_of(cell) * g.grid + g.col_of(cell) == cell
+
+    def test_cell_centres_inside_area(self):
+        g = TestbedGeometry()
+        for cell in g.all_cells():
+            x, y = g.cell_center(cell)
+            assert 0 < x < g.side_m
+            assert 0 < y < g.side_m
+
+    def test_rows_and_cols(self):
+        g = TestbedGeometry()
+        assert g.cells_in_row(0) == [0, 1, 2]
+        assert g.cells_in_col(2) == [2, 5, 8]
+        with pytest.raises(ValueError):
+            g.cells_in_row(3)
+        with pytest.raises(ValueError):
+            g.cells_in_col(-1)
+
+    def test_out_of_range_cell(self):
+        g = TestbedGeometry()
+        with pytest.raises(ValueError):
+            g.cell_center(9)
+        with pytest.raises(ValueError):
+            g.row_of(-1)
+
+
+class TestDistances:
+    def test_adjacent_distance_is_cell_size(self):
+        g = TestbedGeometry()
+        assert g.distance(0, 1) == pytest.approx(g.cell_size_m)
+
+    def test_diagonal_neighbors(self):
+        g = TestbedGeometry()
+        assert g.distance(0, 4) == pytest.approx(g.cell_diagonal_m)
+
+    def test_corner_to_corner(self):
+        g = TestbedGeometry()
+        assert g.distance(0, 8) == pytest.approx(2 * g.cell_diagonal_m)
+
+    def test_symmetric(self):
+        g = TestbedGeometry()
+        assert g.distance(2, 6) == g.distance(6, 2)
+
+
+class TestValidation:
+    def test_bad_area(self):
+        with pytest.raises(ValueError):
+            TestbedGeometry(area_m2=0)
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            TestbedGeometry(grid=0)
+
+    def test_custom_grid(self):
+        g = TestbedGeometry(area_m2=16.0, grid=4)
+        assert g.n_cells == 16
+        assert g.cell_size_m == pytest.approx(1.0)

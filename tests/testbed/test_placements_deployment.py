@@ -1,0 +1,120 @@
+"""Placements enumeration and the physical deployment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.node import Eavesdropper, Terminal
+from repro.net.packet import Packet, PacketKind
+from repro.testbed.deployment import Testbed, TestbedConfig
+from repro.testbed.placements import (
+    Placement,
+    enumerate_placements,
+    placement_count,
+    sample_placements,
+)
+
+
+class TestPlacements:
+    def test_counts_match_paper(self):
+        # 9 * C(8, n) — the paper's experiment population.
+        assert placement_count(8) == 9
+        assert placement_count(3) == 9 * math.comb(8, 3)
+        for n in range(3, 9):
+            assert len(list(enumerate_placements(n))) == placement_count(n)
+
+    def test_all_placements_valid(self):
+        for placement in enumerate_placements(4):
+            assert placement.eve_cell not in placement.terminal_cells
+            assert len(set(placement.terminal_cells)) == 4
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(enumerate_placements(0))
+        with pytest.raises(ValueError):
+            list(enumerate_placements(9))
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            Placement(eve_cell=0, terminal_cells=(0, 1))
+        with pytest.raises(ValueError):
+            Placement(eve_cell=5, terminal_cells=(1, 1))
+
+    def test_sampling_deterministic_and_bounded(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = sample_placements(3, 10, rng1)
+        b = sample_placements(3, 10, rng2)
+        assert a == b
+        assert len(a) == 10
+
+    def test_sampling_caps_at_population(self):
+        rng = np.random.default_rng(5)
+        assert len(sample_placements(8, 1000, rng)) == 9
+
+
+class TestDeployment:
+    @pytest.fixture
+    def testbed(self):
+        return Testbed(TestbedConfig(interferer_power_dbm=10.0))
+
+    def test_build_medium_node_types(self, testbed, rng):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6))
+        medium, names = testbed.build_medium(placement, rng)
+        assert len(names) == 3
+        for name in names:
+            assert isinstance(medium.node(name), Terminal)
+        assert isinstance(medium.node("eve"), Eavesdropper)
+
+    def test_positions_near_cell_centres(self, testbed, rng):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6))
+        medium, names = testbed.build_medium(placement, rng)
+        geometry = testbed.config.geometry
+        jitter = testbed.config.position_jitter_m
+        for name, cell in zip(names, placement.terminal_cells):
+            cx, cy = geometry.cell_center(cell)
+            x, y = medium.node(name).position
+            assert abs(x - cx) <= jitter + 1e-9
+            assert abs(y - cy) <= jitter + 1e-9
+
+    def test_multi_antenna_eve(self, testbed, rng):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2))
+        medium, _ = testbed.build_medium(placement, rng, eve_extra_cells=(8,))
+        assert len(medium.node("eve").antenna_positions()) == 2
+
+    def test_extra_antenna_in_terminal_cell_rejected(self, testbed, rng):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2))
+        with pytest.raises(ValueError):
+            testbed.build_medium(placement, rng, eve_extra_cells=(0,))
+
+    def test_eve_candidate_cells(self, testbed):
+        placement = Placement(eve_cell=4, terminal_cells=(0, 1, 2, 3, 5, 6, 7, 8))
+        assert testbed.eve_candidate_cells(placement) == [4]
+        small = Placement(eve_cell=4, terminal_cells=(0, 8))
+        assert len(testbed.eve_candidate_cells(small)) == 7
+
+    def test_jammed_links_lossier_than_clear(self, testbed, rng):
+        """The engineered contrast: in-beam receivers lose much more."""
+        placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+        probe = testbed.link_loss_probe(placement, rng, trials=150)
+        geometry = testbed.config.geometry
+        field = testbed.interference
+        jam_rates, clear_rates = [], []
+        # T0 is in cell 0; check its reception of T2's transmissions.
+        for pattern in range(9):
+            slot = pattern * testbed.config.slots_per_pattern
+            jammed = field.jammed_cells(geometry, slot)
+            rate = probe[("T1", "T0", pattern)]
+            (jam_rates if 0 in jammed else clear_rates).append(rate)
+        assert np.mean(jam_rates) > np.mean(clear_rates) + 0.3
+
+    def test_interference_ablation_switch(self, rng):
+        quiet = Testbed(TestbedConfig(interference_enabled=False))
+        placement = Placement(eve_cell=4, terminal_cells=(0, 8))
+        probe = quiet.link_loss_probe(placement, rng, trials=100)
+        # Without interference, LOS links at 4 m are nearly lossless
+        # (only the base_loss floor remains).
+        base = quiet.config.base_loss
+        for (src, dst, pattern), rate in probe.items():
+            assert rate < base + 0.1

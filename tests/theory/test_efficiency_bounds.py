@@ -1,0 +1,132 @@
+"""Figure-1 theory: closed forms, LP behaviour, capacity bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.bounds import group_secret_upper_bound, pairwise_secrecy_capacity
+from repro.theory.efficiency import (
+    group_efficiency,
+    group_efficiency_infinite,
+    group_efficiency_lp,
+    unicast_efficiency,
+)
+
+probability = st.floats(min_value=0.02, max_value=0.98)
+
+
+class TestUnicast:
+    def test_closed_form(self):
+        assert unicast_efficiency(2, 0.5) == pytest.approx(0.2)
+
+    @given(probability)
+    @settings(max_examples=25, deadline=None)
+    def test_decreasing_in_n(self, p):
+        values = [unicast_efficiency(n, p) for n in (2, 3, 6, 10, 50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_vanishes_as_n_grows(self):
+        assert unicast_efficiency(10_000, 0.5) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unicast_efficiency(1, 0.5)
+        with pytest.raises(ValueError):
+            unicast_efficiency(3, 1.5)
+
+
+class TestGroup:
+    def test_n2_closed_form(self):
+        for p in (0.1, 0.5, 0.8):
+            assert group_efficiency(2, p) == pytest.approx(p * (1 - p))
+
+    def test_peak_at_half(self):
+        assert group_efficiency(2, 0.5) == pytest.approx(0.25)
+
+    def test_infinite_closed_form(self):
+        assert group_efficiency_infinite(0.5) == pytest.approx(0.2)
+        assert group_efficiency(math.inf, 0.5) == pytest.approx(0.2)
+
+    @given(probability)
+    @settings(max_examples=15, deadline=None)
+    def test_ordering_group_decreasing_in_n(self, p):
+        values = [group_efficiency(n, p) for n in (2, 3, 6, 10)]
+        values.append(group_efficiency_infinite(p))
+        for a, b in zip(values, values[1:]):
+            assert a >= b - 1e-9
+
+    @given(probability)
+    @settings(max_examples=15, deadline=None)
+    def test_group_beats_unicast(self, p):
+        for n in (3, 6, 10):
+            assert group_efficiency(n, p) >= unicast_efficiency(n, p) - 1e-9
+
+    @given(probability)
+    @settings(max_examples=15, deadline=None)
+    def test_group_stays_above_infinite_limit(self, p):
+        limit = group_efficiency_infinite(p)
+        for n in (3, 6, 10):
+            assert group_efficiency(n, p) >= limit - 1e-6
+
+    def test_lp_approaches_infinite_limit(self):
+        # At n = 40 the LP should be within a few percent of the limit.
+        p = 0.5
+        lp = group_efficiency_lp(40, p)
+        assert abs(lp - group_efficiency_infinite(p)) < 0.01
+
+    def test_extremes_are_zero(self):
+        assert group_efficiency(5, 0.0) == 0.0
+        assert group_efficiency(5, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_efficiency(1, 0.5)
+        with pytest.raises(ValueError):
+            group_efficiency_infinite(-0.1)
+
+
+class TestCapacityBounds:
+    def test_pairwise_formula(self):
+        assert pairwise_secrecy_capacity(0.4, 0.5) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_secrecy_capacity(1.2, 0.5)
+
+    def test_group_bound_uses_weakest(self):
+        bound = group_secret_upper_bound([0.2, 0.6], 0.5, 100)
+        assert bound == pytest.approx(100 * 0.4 * 0.5)
+
+    def test_group_bound_edges(self):
+        assert group_secret_upper_bound([], 0.5, 10) == 0.0
+        with pytest.raises(ValueError):
+            group_secret_upper_bound([0.2], 0.5, -1)
+
+    def test_protocol_never_beats_capacity(self):
+        """The packet-level protocol with an oracle must stay below the
+        information-theoretic ceiling."""
+        from repro.core.estimator import OracleEstimator
+        from repro.core.session import ProtocolSession, SessionConfig
+        from repro.net.medium import BroadcastMedium, IIDLossModel
+        from repro.net.node import Eavesdropper, Terminal
+
+        p = 0.5
+        rng = np.random.default_rng(123)
+        names = ["T0", "T1", "T2"]
+        nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+        medium = BroadcastMedium(nodes, IIDLossModel(p), rng)
+        cfg = SessionConfig(n_x_packets=200, payload_bytes=16)
+        session = ProtocolSession(medium, names, OracleEstimator(), rng, config=cfg)
+        result = session.run_round("T0")
+        # Empirical per-terminal erasure rates from the actual run.
+        bound = group_secret_upper_bound(
+            [1 - len(result.reports[t]) / cfg.n_x_packets for t in names[1:]],
+            1 - len(result.eve_received_ids) / cfg.n_x_packets,
+            cfg.n_x_packets,
+        )
+        # Monte-Carlo slack: the bound uses realised rates, so allow a
+        # small tolerance for integer effects.
+        assert result.secret_packets <= bound + 3
