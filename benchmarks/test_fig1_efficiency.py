@@ -88,7 +88,10 @@ def test_unicast_collapses_but_group_does_not(figure1_data):
     # Unicast at n=10 has lost > 60% of its n=2 value...
     assert unicast_curves[10][j] < 0.4 * unicast_curves[2][j]
     # ...while the group algorithm keeps >= 80% even at n = infinity.
-    assert group_curves[math.inf][j] > 0.8 * group_curves[2][j]
+    # At p = 0.5 the bound is *tight*: the limit p(1-p)/(1+p^2) = 0.2 is
+    # exactly 0.8 of the n=2 value p(1-p) = 0.25, so the comparison must
+    # admit the boundary (see tests/theory for the closed-form pin).
+    assert group_curves[math.inf][j] >= 0.8 * group_curves[2][j] - 1e-12
     # And the n -> inf limit is strictly positive everywhere inside (0,1).
     assert all(v > 0 for v in group_curves[math.inf])
 

@@ -22,6 +22,10 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import emit
+
+# The module-scope campaign fixture runs minutes of per-packet
+# simulation; CI's fast job deselects it (-m "not campaign").
+pytestmark = pytest.mark.campaign
 from repro import SessionConfig
 from repro.analysis import (
     CampaignConfig,

@@ -1,0 +1,178 @@
+"""Batched engine vs per-packet loop: agreement and speedup.
+
+The acceptance contract of the batched engine: reproduce the Figure-2
+reliability statistics within Monte-Carlo tolerance of the per-packet
+:class:`~repro.core.session.ProtocolSession` oracle, and run a
+100-round multi-scenario campaign at least 20x faster than the
+packet-level loop.  This module measures both and emits the comparison
+table alongside the other figure artefacts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import (
+    BroadcastMedium,
+    Eavesdropper,
+    IIDLossModel,
+    LeaveOneOutEstimator,
+    OracleEstimator,
+    ProtocolSession,
+    SessionConfig,
+    Terminal,
+)
+from repro.analysis import summarize_reliability
+from repro.sim import (
+    CampaignRunner,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    Scenario,
+    run_sim_campaign,
+)
+
+N_PACKETS = 100
+Z_COST = 2.0
+ROUNDS_PER_CELL = 25
+
+#: The multi-scenario campaign: 4 cells x 25 rounds = 100 rounds.
+CELLS = [
+    Scenario(
+        n_terminals=n,
+        loss=IIDLossSpec(0.4),
+        estimator=estimator,
+        n_x_packets=N_PACKETS,
+        rounds=ROUNDS_PER_CELL,
+        z_cost_factor=Z_COST,
+    )
+    for n in (3, 5)
+    for estimator in (
+        OracleEstimatorSpec(),
+        LeaveOneOutEstimatorSpec(rate_margin=0.05),
+    )
+]
+
+
+def packet_estimator(spec):
+    if isinstance(spec, OracleEstimatorSpec):
+        return OracleEstimator()
+    return LeaveOneOutEstimator(rate_margin=spec.rate_margin)
+
+
+def run_cell_per_packet(cell, seed=11):
+    """The packet-level loop: one fresh medium + session per round."""
+    names = [f"T{i}" for i in range(cell.n_terminals)]
+    effs, rels = [], []
+    for k in range(cell.rounds):
+        rng = np.random.default_rng(seed + 1009 * k)
+        nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+        medium = BroadcastMedium(nodes, IIDLossModel(cell.loss.p), rng)
+        config = SessionConfig(
+            n_x_packets=cell.n_x_packets,
+            payload_bytes=8,
+            z_cost_factor=cell.z_cost_factor,
+        )
+        session = ProtocolSession(
+            medium, names, packet_estimator(cell.estimator), rng, config=config
+        )
+        result = session.run_round(names[0])
+        effs.append(
+            result.secret_packets
+            / (cell.n_x_packets + result.plan.total_public)
+        )
+        rels.append(result.leakage.reliability)
+    return effs, rels
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """Run the same 100-round campaign on both engines, timed."""
+    t0 = time.perf_counter()
+    packet = {id(cell): run_cell_per_packet(cell) for cell in CELLS}
+    packet_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = run_sim_campaign(CELLS, seed=11)
+    batched_seconds = time.perf_counter() - t0
+    return packet, batched, packet_seconds, batched_seconds
+
+
+def test_campaign_speedup_at_least_20x(comparison):
+    packet, batched, packet_seconds, batched_seconds = comparison
+    total_rounds = sum(cell.rounds for cell in CELLS)
+    speedup = packet_seconds / batched_seconds
+    rows = [
+        f"{total_rounds}-round campaign over {len(CELLS)} scenario cells "
+        f"(n in {{3, 5}}, p = 0.4, oracle + leave-one-out)",
+        f"per-packet loop : {packet_seconds * 1e3:9.1f} ms "
+        f"({packet_seconds * 1e3 / total_rounds:6.2f} ms/round)",
+        f"batched engine  : {batched_seconds * 1e3:9.1f} ms "
+        f"({batched_seconds * 1e3 / total_rounds:6.2f} ms/round)",
+        f"speedup         : {speedup:9.1f}x",
+    ]
+    emit("Batched engine vs per-packet loop", "\n".join(rows))
+    assert speedup >= 20.0, f"batched engine only {speedup:.1f}x faster"
+
+
+def test_figure2_statistics_within_tolerance(comparison):
+    """The reliability populations (the Figure-2 series) must agree."""
+    packet, batched, _, _ = comparison
+    lines = []
+    for cell, outcome in zip(CELLS, batched.outcomes):
+        _, packet_rels = packet[id(cell)]
+        packet_summary = summarize_reliability(cell.n_terminals, packet_rels)
+        batched_summary = summarize_reliability(
+            cell.n_terminals, outcome.result.reliabilities()
+        )
+        lines.append(
+            f"n={cell.n_terminals} {type(cell.estimator).__name__:28s} "
+            f"packet mean={packet_summary.mean:.3f} med={packet_summary.median:.3f} | "
+            f"batched mean={batched_summary.mean:.3f} med={batched_summary.median:.3f}"
+        )
+        if isinstance(cell.estimator, OracleEstimatorSpec):
+            # Ground truth budgets: both engines certify perfect secrecy.
+            assert packet_summary.minimum == 1.0
+            assert batched_summary.minimum == 1.0
+        else:
+            assert batched_summary.mean == pytest.approx(
+                packet_summary.mean, abs=0.08
+            )
+            assert batched_summary.median == pytest.approx(
+                packet_summary.median, abs=0.08
+            )
+    emit("Figure 2 cross-validation (packet vs batched)", "\n".join(lines))
+
+
+def test_efficiency_within_tolerance(comparison):
+    """Secret rates: the batched planner is fractional (no integrality
+    or flow-assignment loss), so it brackets the session from above at
+    larger n; 0.10 absolute is the observed Monte-Carlo band."""
+    packet, batched, _, _ = comparison
+    for cell, outcome in zip(CELLS, batched.outcomes):
+        packet_effs, _ = packet[id(cell)]
+        assert outcome.result.mean_efficiency == pytest.approx(
+            float(np.mean(packet_effs)), abs=0.10
+        )
+
+
+def test_benchmark_batched_campaign(benchmark):
+    """Timed kernel: the full 100-round multi-scenario batched campaign."""
+
+    def run():
+        return run_sim_campaign(CELLS, seed=11)
+
+    result = benchmark(run)
+    assert result.total_rounds == sum(cell.rounds for cell in CELLS)
+
+
+def test_benchmark_sharded_campaign(benchmark):
+    """Same campaign, sharded across 4 workers (cells are independent)."""
+
+    def run():
+        return CampaignRunner(seed=11, max_workers=4).run(CELLS)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert result.total_rounds == sum(cell.rounds for cell in CELLS)

@@ -4,8 +4,18 @@
 Runs the testbed campaign with the deployment estimator (interference
 guarantee combined with leave-one-out) and, separately, with the pure
 empirical estimator, writing JSON snapshots to scripts/out/.
+
+Engines (``--engine``):
+
+* ``batched`` (default) — the :mod:`repro.sim` Monte-Carlo engine:
+  per-placement link probing, then vectorised round batches.  Minutes
+  of per-packet simulation become seconds.
+* ``packet`` — the per-packet :class:`repro.core.session.ProtocolSession`
+  ground truth (the original reference path; slow).
+* ``both`` — run both and write both snapshots (cross-validation).
 """
 
+import argparse
 import json
 import os
 import time
@@ -15,6 +25,11 @@ import numpy as np
 from repro import SessionConfig, Testbed, TestbedConfig
 from repro.analysis import CampaignConfig, run_campaign, summarize_reliability
 from repro.core import CombinedEstimator, LeaveOneOutEstimator
+from repro.sim import (
+    CombinedEstimatorSpec,
+    FixedFractionEstimatorSpec,
+    LeaveOneOutEstimatorSpec,
+)
 from repro.testbed.estimator import (
     InterferenceAwareEstimator,
     calibrate_min_jam_loss,
@@ -40,6 +55,17 @@ def loo_factory(testbed, placement):
     return LeaveOneOutEstimator(rate_margin=0.05)
 
 
+def combined_spec(min_jam_loss):
+    """Declarative twin of combined_factory: the interference guarantee
+    is a fixed-fraction floor at the calibrated minimum jam loss."""
+    return CombinedEstimatorSpec(
+        children=(
+            FixedFractionEstimatorSpec(fraction=min_jam_loss),
+            LeaveOneOutEstimatorSpec(rate_margin=0.02),
+        )
+    )
+
+
 def campaign_to_json(result):
     return [
         {
@@ -55,7 +81,30 @@ def campaign_to_json(result):
     ]
 
 
+def engine_variants(engine, pmin):
+    """The two estimator variants, as run_campaign keyword arguments."""
+    if engine == "packet":
+        return (
+            ("combined", dict(estimator_factory=combined_factory(pmin))),
+            ("loo", dict(estimator_factory=loo_factory)),
+        )
+    return (
+        ("combined", dict(estimator_spec=combined_spec(pmin))),
+        ("loo", dict(estimator_spec=LeaveOneOutEstimatorSpec(0.05))),
+    )
+
+
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "packet", "both"),
+        default="batched",
+        help="simulation engine (default: batched; packet = ground truth)",
+    )
+    args = parser.parse_args()
+    engines = ("batched", "packet") if args.engine == "both" else (args.engine,)
+
     os.makedirs(OUT_DIR, exist_ok=True)
     testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
     rng = np.random.default_rng(0)
@@ -73,33 +122,42 @@ def main():
         group_sizes=(3, 4, 5, 6, 7, 8),
     )
 
-    for label, factory in (
-        ("combined", combined_factory(pmin)),
-        ("loo", loo_factory),
-    ):
-        t1 = time.time()
-        result = run_campaign(
-            testbed,
-            factory,
-            config,
-            progress=lambda n, pl: None,
-        )
-        path = os.path.join(OUT_DIR, f"campaign_{label}.json")
-        with open(path, "w") as f:
-            json.dump(
-                {"min_jam_loss": pmin, "records": campaign_to_json(result)},
-                f,
-                indent=1,
+    for engine in engines:
+        suffix = "" if engine == "packet" else f"_{engine}"
+        for label, kwargs in engine_variants(engine, pmin):
+            t1 = time.time()
+            result = run_campaign(
+                testbed,
+                config=config,
+                progress=lambda n, pl: None,
+                engine=engine,
+                **kwargs,
             )
-        print(f"{label}: {len(result.records)} experiments in "
-              f"{time.time()-t1:.0f}s -> {path}", flush=True)
-        for n in result.group_sizes():
-            s = summarize_reliability(n, result.reliabilities(n))
-            effs = result.efficiencies(n)
-            print(f"  n={n}: rel min={s.minimum:.2f} p95={s.p95:.2f} "
-                  f"mean={s.mean:.2f} med={s.median:.2f} | "
-                  f"eff min={min(effs):.4f} mean={np.mean(effs):.4f}",
-                  flush=True)
+            path = os.path.join(OUT_DIR, f"campaign_{label}{suffix}.json")
+            with open(path, "w") as f:
+                json.dump(
+                    {
+                        "min_jam_loss": pmin,
+                        "engine": engine,
+                        "records": campaign_to_json(result),
+                    },
+                    f,
+                    indent=1,
+                )
+            print(
+                f"{engine}/{label}: {len(result.records)} experiments in "
+                f"{time.time()-t1:.0f}s -> {path}",
+                flush=True,
+            )
+            for n in result.group_sizes():
+                s = summarize_reliability(n, result.reliabilities(n))
+                effs = result.efficiencies(n)
+                print(
+                    f"  n={n}: rel min={s.minimum:.2f} p95={s.p95:.2f} "
+                    f"mean={s.mean:.2f} med={s.median:.2f} | "
+                    f"eff min={min(effs):.4f} mean={np.mean(effs):.4f}",
+                    flush=True,
+                )
 
 
 if __name__ == "__main__":

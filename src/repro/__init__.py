@@ -34,6 +34,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.core` — the protocol: sessions, estimators, metrics, Eve.
 - :mod:`repro.theory` — Figure-1 efficiency curves and capacity bounds.
 - :mod:`repro.analysis` — campaign runner and figure rendering.
+- :mod:`repro.sim` — batched Monte-Carlo campaign engine (vectorised
+  scenario sweeps; the per-packet session stays the ground truth).
 - :mod:`repro.auth` — active-adversary extension (one-time MACs).
 """
 
@@ -66,6 +68,23 @@ from repro.net import (
     PacketKind,
     Terminal,
     TransmissionLedger,
+)
+from repro.sim import (
+    AdversarySpec,
+    BatchedRoundEngine,
+    BatchResult,
+    CampaignRunner,
+    CollusionEstimatorSpec,
+    CombinedEstimatorSpec,
+    FixedFractionEstimatorSpec,
+    GilbertElliottLossSpec,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    MatrixLossSpec,
+    OracleEstimatorSpec,
+    Scenario,
+    ScenarioGrid,
+    run_sim_campaign,
 )
 from repro.testbed import (
     Placement,
@@ -113,6 +132,22 @@ __all__ = [
     "TestbedGeometry",
     "Placement",
     "enumerate_placements",
+    # batched simulation
+    "Scenario",
+    "ScenarioGrid",
+    "BatchedRoundEngine",
+    "BatchResult",
+    "CampaignRunner",
+    "run_sim_campaign",
+    "IIDLossSpec",
+    "MatrixLossSpec",
+    "GilbertElliottLossSpec",
+    "AdversarySpec",
+    "OracleEstimatorSpec",
+    "FixedFractionEstimatorSpec",
+    "LeaveOneOutEstimatorSpec",
+    "CollusionEstimatorSpec",
+    "CombinedEstimatorSpec",
     # substrates
     "SystematicMDSCode",
 ]

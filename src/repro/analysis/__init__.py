@@ -12,8 +12,10 @@ from repro.analysis.experiments import (
     CampaignConfig,
     CampaignResult,
     ExperimentRecord,
+    placement_loss_specs,
     run_campaign,
     run_placement_experiment,
+    run_placement_experiment_batched,
 )
 from repro.analysis.stats import ReliabilitySummary, summarize_reliability
 from repro.analysis.report import (
@@ -28,6 +30,8 @@ __all__ = [
     "ExperimentRecord",
     "run_campaign",
     "run_placement_experiment",
+    "run_placement_experiment_batched",
+    "placement_loss_specs",
     "ReliabilitySummary",
     "summarize_reliability",
     "render_figure1_table",

@@ -554,31 +554,43 @@ def _assign_ids_by_flow(cells: Mapping, id_demand: Mapping) -> dict:
     cell ``P`` supplies ``|C_P|`` ids to any ``T <= P``.  The returned
     supports are disjoint (each id funds one block) and time-scattered
     within each cell (see :func:`_scatter_order`).
+
+    Graph nodes are plain integers, not subset/cell keys: the max-flow
+    solver keeps worklists in Python sets, and set iteration order for
+    nodes containing *strings* (terminal names) varies with
+    PYTHONHASHSEED — which used to pick a different (equally optimal)
+    integral flow per process and made whole campaigns irreproducible.
+    Integer hashes are unsalted, so this routing is deterministic.
     """
     import networkx as nx
 
     if not id_demand:
         return {}
+    subsets = sorted(id_demand, key=lambda s: (len(s), sorted(s)))
+    cell_list = list(cells)
+    source = -1
+    sink = -2
+    cell_base = len(subsets)
     graph = nx.DiGraph()
-    source, sink = "src", "snk"
-    for T, dem in id_demand.items():
-        graph.add_edge(source, ("T", T), capacity=int(dem))
-    for P, ids in cells.items():
-        graph.add_edge(("P", P), sink, capacity=len(ids))
-        for T in id_demand:
+    for j, T in enumerate(subsets):
+        graph.add_edge(source, j, capacity=int(id_demand[T]))
+    for k, P in enumerate(cell_list):
+        graph.add_edge(cell_base + k, sink, capacity=len(cells[P]))
+        for j, T in enumerate(subsets):
             if T <= P:
-                graph.add_edge(("T", T), ("P", P), capacity=int(id_demand[T]))
+                graph.add_edge(j, cell_base + k, capacity=int(id_demand[T]))
     if not any(True for _ in graph.successors(source)):
         return {}
     _, flow = nx.maximum_flow(graph, source, sink)
     scattered = {P: _scatter_order(ids) for P, ids in cells.items()}
     cursor = {P: 0 for P in cells}
     assignment: dict = {}
-    for T in id_demand:
+    for j, T in enumerate(subsets):
         take: list = []
-        for (kind, P), amount in flow.get(("T", T), {}).items():
-            if kind != "P" or amount <= 0:
+        for node, amount in flow.get(j, {}).items():
+            if node < cell_base or amount <= 0:
                 continue
+            P = cell_list[node - cell_base]
             start = cursor[P]
             take.extend(scattered[P][start : start + amount])
             cursor[P] = start + amount

@@ -1,0 +1,215 @@
+"""Campaign sweeps over declarative scenario matrices.
+
+A :class:`ScenarioGrid` is the cartesian product of the axes the paper
+sweeps — group size, loss model, adversary shape, estimator policy —
+expanded into concrete :class:`~repro.sim.spec.Scenario` cells.  The
+:class:`CampaignRunner` executes every cell on the batched engine,
+optionally sharding cells across a :class:`concurrent.futures` pool
+(the allocation LP and the numpy kernels release the GIL for most of
+their runtime, and the memoized LP cache is shared process-wide).
+
+Determinism: each cell's generator derives from the campaign seed via
+``SeedSequence.spawn`` keyed by cell index, so results are independent
+of worker count and execution order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import BatchedRoundEngine, BatchResult
+from repro.sim.spec import (
+    AdversarySpec,
+    EstimatorSpec,
+    IIDLossSpec,
+    LossSpec,
+    OracleEstimatorSpec,
+    Scenario,
+)
+
+__all__ = [
+    "ScenarioGrid",
+    "ScenarioOutcome",
+    "SimCampaignResult",
+    "CampaignRunner",
+    "run_sim_campaign",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Declarative scenario matrix: one cell per axis combination.
+
+    Attributes:
+        group_sizes: the n values to sweep.
+        loss_models: loss specs (one axis entry each).
+        adversaries: Eve configurations.
+        estimators: budget policies.
+        rounds: Monte-Carlo rounds per cell.
+        n_x_packets / payload_bytes / z_cost_factor / secrecy_slack:
+            protocol sizing shared by every cell.
+    """
+
+    group_sizes: tuple = (3,)
+    loss_models: tuple = (IIDLossSpec(0.5),)
+    adversaries: tuple = field(default_factory=lambda: (AdversarySpec(),))
+    estimators: tuple = field(default_factory=lambda: (OracleEstimatorSpec(),))
+    rounds: int = 100
+    n_x_packets: int = 90
+    payload_bytes: int = 100
+    z_cost_factor: float = 1.0
+    secrecy_slack: int = 0
+    max_subset_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for loss in self.loss_models:
+            if not isinstance(loss, LossSpec):
+                raise TypeError(f"{loss!r} is not a LossSpec")
+        for adversary in self.adversaries:
+            if not isinstance(adversary, AdversarySpec):
+                raise TypeError(f"{adversary!r} is not an AdversarySpec")
+        for estimator in self.estimators:
+            if not isinstance(estimator, EstimatorSpec):
+                raise TypeError(f"{estimator!r} is not an EstimatorSpec")
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the matrix into concrete cells, in axis order."""
+        cells = []
+        for n, loss, adversary, estimator in itertools.product(
+            self.group_sizes, self.loss_models, self.adversaries, self.estimators
+        ):
+            cells.append(
+                Scenario(
+                    n_terminals=n,
+                    loss=loss,
+                    adversary=adversary,
+                    estimator=estimator,
+                    n_x_packets=self.n_x_packets,
+                    rounds=self.rounds,
+                    payload_bytes=self.payload_bytes,
+                    z_cost_factor=self.z_cost_factor,
+                    secrecy_slack=self.secrecy_slack,
+                    max_subset_size=self.max_subset_size,
+                )
+            )
+        return cells
+
+    def size(self) -> int:
+        return (
+            len(self.group_sizes)
+            * len(self.loss_models)
+            * len(self.adversaries)
+            * len(self.estimators)
+        )
+
+
+@dataclass
+class ScenarioOutcome:
+    """One cell's batch, with the summary views campaigns consume."""
+
+    scenario: Scenario
+    result: BatchResult
+
+    @property
+    def n_terminals(self) -> int:
+        return self.scenario.n_terminals
+
+    def reliability_summary(self):
+        """The Figure-2 order statistics for this cell."""
+        from repro.analysis.stats import summarize_reliability
+
+        return summarize_reliability(
+            self.scenario.n_terminals, self.result.reliabilities()
+        )
+
+
+@dataclass
+class SimCampaignResult:
+    """Every cell of a batched campaign."""
+
+    outcomes: list = field(default_factory=list)
+
+    def for_n(self, n: int) -> list:
+        return [o for o in self.outcomes if o.n_terminals == n]
+
+    def group_sizes(self) -> list:
+        return sorted({o.n_terminals for o in self.outcomes})
+
+    def reliabilities(self, n: int) -> list:
+        values: list = []
+        for outcome in self.for_n(n):
+            values.extend(outcome.result.reliabilities())
+        return values
+
+    def efficiencies(self, n: int) -> list:
+        values: list = []
+        for outcome in self.for_n(n):
+            values.extend(outcome.result.efficiencies())
+        return values
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(o.result.rounds for o in self.outcomes)
+
+
+class CampaignRunner:
+    """Runs a scenario grid on the batched engine.
+
+    Args:
+        seed: master seed; per-cell generators derive from it.
+        max_workers: > 1 shards cells across a thread pool; None or 1
+            runs serially (identical results either way).
+    """
+
+    def __init__(self, seed: int = 2012, max_workers: Optional[int] = None) -> None:
+        self.seed = seed
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        grid,
+        progress: Optional[Callable[[Scenario], None]] = None,
+    ) -> SimCampaignResult:
+        """Execute every cell of ``grid`` (a ScenarioGrid or an iterable
+        of Scenarios); returns outcomes in cell order."""
+        if isinstance(grid, ScenarioGrid):
+            cells: Sequence[Scenario] = grid.scenarios()
+        else:
+            cells = list(grid)
+        if not cells:
+            return SimCampaignResult(outcomes=[])
+        streams = np.random.SeedSequence(self.seed).spawn(len(cells))
+
+        def run_cell(index: int) -> ScenarioOutcome:
+            scenario = cells[index]
+            if progress is not None:
+                progress(scenario)
+            engine = BatchedRoundEngine(
+                scenario, rng=np.random.default_rng(streams[index])
+            )
+            return ScenarioOutcome(scenario=scenario, result=engine.run())
+
+        workers = self.max_workers
+        if workers is not None and workers > 1 and len(cells) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_cell, range(len(cells))))
+        else:
+            outcomes = [run_cell(i) for i in range(len(cells))]
+        return SimCampaignResult(outcomes=outcomes)
+
+
+def run_sim_campaign(
+    grid,
+    seed: int = 2012,
+    max_workers: Optional[int] = None,
+    progress: Optional[Callable[[Scenario], None]] = None,
+) -> SimCampaignResult:
+    """Convenience wrapper: ``CampaignRunner(seed, max_workers).run(grid)``."""
+    return CampaignRunner(seed=seed, max_workers=max_workers).run(
+        grid, progress=progress
+    )

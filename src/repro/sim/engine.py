@@ -1,0 +1,379 @@
+"""Batched Monte-Carlo protocol accounting: B rounds as numpy arrays.
+
+The per-packet :class:`~repro.core.session.ProtocolSession` simulates
+every transmission, retry, Cauchy block and GF solve — the ground-truth
+oracle.  This engine reproduces the *statistics* the figures need
+(delivery rates, secret length, z-overhead, efficiency, reliability)
+for B independent rounds simultaneously:
+
+1. **Receptions** — the whole ``(B, links, N)`` loss tensor is drawn in
+   one vectorised call per loss model (:mod:`repro.sim.reception`).
+2. **Pattern histogram** — each packet's reception pattern (the subset
+   of receivers that captured it) is encoded as a bitmask and the per
+   round pattern counts are built with one ``bincount``.
+3. **Pools** — a superset-sum (zeta) transform over the subset lattice
+   turns pattern counts into ``pools[b, T]`` = packets received by all
+   of ``T``, and the same transform over Eve-missed packets yields the
+   oracle budgets, all as ``(B, 2^r)`` arrays.
+4. **Allocation reuse** — the symmetric allocation LP is solved once
+   per scenario (memoized in :mod:`repro.theory.efficiency`) and its
+   per-level row targets are clamped against each round's realised
+   pools and estimator budgets; no per-round LP, flow, or GF algebra.
+5. **Accounting** — per-round ``M_i``, ``L = min_i M_i``, z-overhead,
+   the Figure-1 efficiency ``L / (N + z)`` and the reliability of the
+   resulting secret (estimator over-promises convert into rank deficit
+   exactly as in :mod:`repro.core.eve`, block by disjoint block).
+
+The engine is a statistical model, not a bit-exact replay: it keeps
+fractional row counts (integrality costs the session O(1/N)), plans
+with the scenario-level LP instead of the per-round realised LP, and
+applies leave-one-out exclusions at subset granularity using global
+miss rates.  The cross-validation suite pins the agreement between the
+two under Monte-Carlo tolerance; anything sharper belongs to the
+per-packet oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coding.privacy import MAX_PHASE2_ROWS
+from repro.sim.reception import ReceptionBatch, sample_receptions
+from repro.sim.spec import (
+    CollusionEstimatorSpec,
+    CombinedEstimatorSpec,
+    EstimatorSpec,
+    FixedFractionEstimatorSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    Scenario,
+)
+from repro.theory.efficiency import group_allocation_profile
+
+__all__ = ["BatchResult", "BatchedRoundEngine", "run_batch"]
+
+
+def _superset_sums(table: np.ndarray) -> np.ndarray:
+    """Zeta transform along axis 1: ``out[:, S] = sum_{P >= S} table[:, P]``
+    (P ranges over bitmask supersets of S)."""
+    out = table.copy()
+    size = table.shape[1]
+    idx = np.arange(size)
+    bit = 1
+    while bit < size:
+        lower = idx[(idx & bit) == 0]
+        out[:, lower] += out[:, lower | bit]
+        bit <<= 1
+    return out
+
+
+def _subset_sums(table: np.ndarray) -> np.ndarray:
+    """Zeta transform along axis 1: ``out[:, S] = sum_{P <= S} table[:, P]``."""
+    out = table.copy()
+    size = table.shape[1]
+    idx = np.arange(size)
+    bit = 1
+    while bit < size:
+        upper = idx[(idx & bit) != 0]
+        out[:, upper] += out[:, upper ^ bit]
+        bit <<= 1
+    return out
+
+
+@dataclass
+class BatchResult:
+    """Per-round statistics of one simulated batch (arrays of shape (B,)
+    unless noted).
+
+    ``secret_packets`` and the derived efficiency keep the engine's
+    fractional accounting; :attr:`secret_packets_int` floors to whole
+    packets for bit counting.
+    """
+
+    scenario: Scenario
+    secret_packets: np.ndarray
+    public_packets: np.ndarray
+    total_rows: np.ndarray
+    efficiency: np.ndarray
+    reliability: np.ndarray
+    eve_missed: np.ndarray
+    terminal_receptions: np.ndarray  # (B, n_receivers)
+    delivery_rates: np.ndarray  # (n_receivers,)
+
+    @property
+    def rounds(self) -> int:
+        return int(self.secret_packets.shape[0])
+
+    @property
+    def secret_packets_int(self) -> np.ndarray:
+        return np.floor(self.secret_packets + 1e-9).astype(np.int64)
+
+    @property
+    def secret_bits(self) -> int:
+        return int(self.secret_packets_int.sum()) * self.scenario.payload_bytes * 8
+
+    @property
+    def mean_efficiency(self) -> float:
+        return float(np.mean(self.efficiency))
+
+    @property
+    def mean_reliability(self) -> float:
+        return float(np.mean(self.reliability))
+
+    @property
+    def min_reliability(self) -> float:
+        return float(np.min(self.reliability))
+
+    def reliabilities(self) -> list:
+        return [float(v) for v in self.reliability]
+
+    def efficiencies(self) -> list:
+        return [float(v) for v in self.efficiency]
+
+
+class BatchedRoundEngine:
+    """Simulates batches of protocol rounds for one scenario.
+
+    Args:
+        scenario: the cell to simulate.
+        seed: seeds a private :class:`numpy.random.Generator`; pass an
+            existing generator via ``rng`` instead to share a stream.
+        rng: explicit generator (overrides ``seed``).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if scenario.n_receivers > 16:
+            raise ValueError(
+                "the subset-lattice accounting is sized for n <= 17 terminals"
+            )
+        self.scenario = scenario
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        r = scenario.n_receivers
+        self._n_subsets = 1 << r
+        subsets = np.arange(self._n_subsets)
+        #: membership[S, i] — receiver i belongs to subset bitmask S.
+        self._membership = (subsets[:, None] >> np.arange(r)[None, :] & 1).astype(
+            bool
+        )
+        self._subset_sizes = self._membership.sum(axis=1)
+
+    # -- budgets ---------------------------------------------------------
+
+    def _certifiable_level_cap(self, spec: EstimatorSpec) -> int:
+        """Largest decodable-subset size the estimator can fund at all.
+
+        Leave-one-out needs at least one witness terminal outside the
+        subset; k-collusion needs k.  Blocks above the cap would clamp
+        to zero rows anyway, so the planning LP must not allocate there
+        (mirrors the per-round planner, whose LP sees the zero budgets).
+        """
+        r = self.scenario.n_receivers
+        if isinstance(spec, (OracleEstimatorSpec, FixedFractionEstimatorSpec)):
+            cap = r
+        elif isinstance(spec, LeaveOneOutEstimatorSpec):
+            cap = r - 1
+        elif isinstance(spec, CollusionEstimatorSpec):
+            cap = r - spec.k
+        elif isinstance(spec, CombinedEstimatorSpec):
+            cap = min(self._certifiable_level_cap(c) for c in spec.children)
+        else:
+            raise TypeError(f"unknown estimator spec {spec!r}")
+        if self.scenario.max_subset_size is not None:
+            cap = min(cap, self.scenario.max_subset_size)
+        return cap
+
+    def _budgets(
+        self,
+        spec: EstimatorSpec,
+        pools: np.ndarray,
+        eve_pools: np.ndarray,
+        counts: np.ndarray,
+        miss_rates: np.ndarray,
+    ) -> np.ndarray:
+        """Certified Eve-miss lower bound per (round, subset) pool."""
+        if isinstance(spec, OracleEstimatorSpec):
+            return eve_pools.copy()
+        if isinstance(spec, FixedFractionEstimatorSpec):
+            return spec.fraction * pools
+        if isinstance(spec, LeaveOneOutEstimatorSpec):
+            rates = self._leave_one_out_rates(miss_rates, spec.rate_margin)
+            return rates * pools
+        if isinstance(spec, CollusionEstimatorSpec):
+            rates = self._collusion_rates(counts, spec)
+            return rates * pools
+        if isinstance(spec, CombinedEstimatorSpec):
+            stacked = [
+                self._budgets(child, pools, eve_pools, counts, miss_rates)
+                for child in spec.children
+            ]
+            return np.minimum.reduce(stacked)
+        raise TypeError(f"unknown estimator spec {spec!r}")
+
+    def _leave_one_out_rates(
+        self, miss_rates: np.ndarray, margin: float
+    ) -> np.ndarray:
+        """Worst eligible pretend-Eve rate per (round, subset), where a
+        block decodable by subset S may only cite receivers outside S."""
+        b = miss_rates.shape[0]
+        rates = np.zeros((b, self._n_subsets))
+        for s in range(self._n_subsets):
+            outside = ~self._membership[s]
+            if not outside.any():
+                continue  # every receiver is inside: nothing certifiable
+            rates[:, s] = miss_rates[:, outside].min(axis=1)
+        return np.maximum(rates - margin, 0.0)
+
+    def _collusion_rates(
+        self, counts: np.ndarray, spec: CollusionEstimatorSpec
+    ) -> np.ndarray:
+        """Worst union-miss rate over k-subsets of eligible receivers."""
+        import itertools
+
+        n = self.scenario.n_x_packets
+        r = self.scenario.n_receivers
+        full = self._n_subsets - 1
+        # missed_by_all[b, C] = packets no member of bitmask C received
+        #                     = sum of counts over patterns disjoint from C.
+        missed_by_all = _subset_sums(counts)[:, full ^ np.arange(self._n_subsets)]
+        b = counts.shape[0]
+        rates = np.zeros((b, self._n_subsets))
+        for s in range(self._n_subsets):
+            eligible = [i for i in range(r) if not self._membership[s, i]]
+            if len(eligible) < spec.k:
+                continue
+            worst = None
+            for combo in itertools.combinations(eligible, spec.k):
+                mask = 0
+                for i in combo:
+                    mask |= 1 << i
+                rate = missed_by_all[:, mask] / n
+                worst = rate if worst is None else np.minimum(worst, rate)
+            rates[:, s] = worst
+        return np.maximum(rates - spec.rate_margin, 0.0)
+
+    # -- the batch -------------------------------------------------------
+
+    def run(self, rounds: Optional[int] = None) -> BatchResult:
+        """Simulate ``rounds`` rounds (default: the scenario's count)."""
+        scenario = self.scenario
+        b = scenario.rounds if rounds is None else int(rounds)
+        if b < 1:
+            raise ValueError("need at least one round")
+        batch = sample_receptions(scenario, b, self.rng)
+        return self.account(batch)
+
+    def account(self, batch: ReceptionBatch) -> BatchResult:
+        """Run the protocol accounting on an already-sampled batch."""
+        scenario = self.scenario
+        recv = batch.terminals
+        b, r, n = recv.shape
+        if r != scenario.n_receivers or n != scenario.n_x_packets:
+            raise ValueError("batch shape does not match the scenario")
+        n_sub = self._n_subsets
+
+        # Pattern histogram: one bincount over (round, pattern) pairs.
+        weights = (1 << np.arange(r)).astype(np.int64)
+        patterns = np.tensordot(recv.astype(np.int64), weights, axes=([1], [0]))
+        flat = (np.arange(b, dtype=np.int64)[:, None] * n_sub + patterns).ravel()
+        counts = (
+            np.bincount(flat, minlength=b * n_sub).reshape(b, n_sub).astype(float)
+        )
+        eve_miss = ~batch.eve
+        miss_counts = (
+            np.bincount(flat, weights=eve_miss.ravel().astype(float), minlength=b * n_sub)
+            .reshape(b, n_sub)
+        )
+
+        pools = _superset_sums(counts)
+        eve_pools = _superset_sums(miss_counts)
+        miss_rates = 1.0 - recv.mean(axis=2)
+
+        budgets = self._budgets(
+            scenario.estimator, pools, eve_pools, counts, miss_rates
+        )
+        budgets[:, 0] = 0.0
+
+        # Allocation reuse: one memoized LP per scenario, clamped to the
+        # realised pools and certified budgets of each round.
+        profile = group_allocation_profile(
+            scenario.n_terminals,
+            scenario.loss.planning_loss(r),
+            z_cost_factor=scenario.z_cost_factor,
+            max_level=self._certifiable_level_cap(scenario.estimator),
+        )
+        level_rows = np.concatenate(([0.0], np.asarray(profile.level_rows)))
+        targets = level_rows[self._subset_sizes] * n  # (2^r,)
+        rows = np.minimum(targets[None, :], np.minimum(budgets, pools))
+        rows = np.maximum(rows, 0.0)
+
+        # Disjoint supports: a block of `rows` y-rows at certified rate
+        # budget/pool consumes rows * pool / budget support ids; the
+        # union of reception sets caps the total (the LP's s = 0 row).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            support_need = np.where(budgets > 0, rows * pools / budgets, 0.0)
+            eve_fraction = np.where(pools > 0, eve_pools / pools, 0.0)
+        union = n - counts[:, 0]
+        total_support = support_need.sum(axis=1)
+        scale = np.ones(b)
+        over = total_support > union
+        scale[over] = union[over] / total_support[over]
+        rows *= scale[:, None]
+        support_need *= scale[:, None]
+
+        m_i = rows @ self._membership.astype(float)  # (B, r)
+        l_cap = m_i.min(axis=1)
+        m_total = rows.sum(axis=1)
+        z_public = m_total - l_cap
+
+        # Phase-2 chunking: slack dims withheld per chunk shrink the
+        # secret but absorb estimator over-promises first (see
+        # repro.coding.privacy.build_phase2_matrices).
+        chunks = np.ceil(np.maximum(m_total, 1e-12) / MAX_PHASE2_ROWS)
+        slack = scenario.secrecy_slack * chunks
+        secret = np.maximum(l_cap - slack, 0.0)
+        secret[m_total <= 0] = 0.0
+
+        # Secrecy deficit: inside each block's support, Eve's *actual*
+        # misses may fall short of the certified budget; every missing
+        # dimension costs one rank of hiddenness (disjoint blocks add).
+        eve_in_support = support_need * eve_fraction
+        # The 1e-9 floor clips float roundoff (the oracle path computes
+        # rows * pools / budgets * budgets / pools); true deficits are
+        # whole dimensions.
+        deficit = np.maximum(rows - eve_in_support - 1e-9, 0.0).sum(axis=1)
+        effective_deficit = np.maximum(deficit - slack, 0.0)
+        hidden = np.maximum(secret - effective_deficit, 0.0)
+        reliability = np.ones(b)
+        positive = secret > 1e-12
+        reliability[positive] = hidden[positive] / secret[positive]
+
+        efficiency = secret / (n + z_public)
+
+        return BatchResult(
+            scenario=scenario,
+            secret_packets=secret,
+            public_packets=z_public,
+            total_rows=m_total,
+            efficiency=efficiency,
+            reliability=reliability,
+            eve_missed=batch.eve_missed_counts(),
+            terminal_receptions=recv.sum(axis=2),
+            delivery_rates=batch.delivery_rates(),
+        )
+
+
+def run_batch(
+    scenario: Scenario,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BatchResult:
+    """One-call convenience: simulate a scenario's full batch."""
+    return BatchedRoundEngine(scenario, seed=seed, rng=rng).run()

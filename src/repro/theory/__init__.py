@@ -9,6 +9,10 @@ from repro.theory.bounds import (
     pairwise_secrecy_capacity,
 )
 from repro.theory.efficiency import (
+    AllocationProfile,
+    clear_efficiency_cache,
+    efficiency_cache_info,
+    group_allocation_profile,
     group_efficiency,
     group_efficiency_infinite,
     group_efficiency_lp,
@@ -20,6 +24,10 @@ __all__ = [
     "group_efficiency",
     "group_efficiency_lp",
     "group_efficiency_infinite",
+    "AllocationProfile",
+    "group_allocation_profile",
+    "efficiency_cache_info",
+    "clear_efficiency_cache",
     "pairwise_secrecy_capacity",
     "group_secret_upper_bound",
 ]

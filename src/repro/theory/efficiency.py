@@ -37,7 +37,10 @@ bounded away from zero, the paper's headline contrast with unicast.
 
 from __future__ import annotations
 
+import functools
 import math
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy.optimize import linprog
@@ -47,6 +50,10 @@ __all__ = [
     "group_efficiency_lp",
     "group_efficiency_infinite",
     "group_efficiency",
+    "AllocationProfile",
+    "group_allocation_profile",
+    "efficiency_cache_info",
+    "clear_efficiency_cache",
 ]
 
 
@@ -71,20 +78,59 @@ def group_efficiency_infinite(p: float) -> float:
     return p * (1.0 - p) / (1.0 + p * p)
 
 
-def group_efficiency_lp(
-    n: int, p: float, max_iterations: int = 25, tol: float = 1e-10
-) -> float:
-    """Maximum efficiency of the group algorithm for finite ``n``.
+@dataclass(frozen=True)
+class AllocationProfile:
+    """The symmetric LP's optimal allocation, normalised per x-packet.
 
-    Solves the linear fractional program described in the module
-    docstring via Dinkelbach iteration (each step one LP in the ``n-1``
-    level variables plus ``L``).
+    ``level_rows[t - 1]`` is the number of y-rows allocated to *each*
+    terminal subset of size ``t`` (t = 1..n-1), per transmitted
+    x-packet.  The batched simulation engine scales these by N and
+    clamps them against realised reception pools, reusing one LP solve
+    across every round of a scenario (see :mod:`repro.sim`).
+
+    Attributes:
+        n: group size (terminals including the leader).
+        p: the erasure probability the LP was solved for.
+        z_cost_factor: airtime weight of one z-packet in the objective
+            denominator (1.0 reproduces the Figure-1 accounting).
+        level_rows: per-subset y-rows at each level, per x-packet.
+        l_per_packet: L / N at the optimum.
+        m_per_packet: M / N at the optimum.
+        efficiency: the optimal value ``L / (N + z_cost (M - L))``.
     """
-    _validate(n, p)
-    if p in (0.0, 1.0):
-        return 0.0
+
+    n: int
+    p: float
+    z_cost_factor: float
+    level_rows: tuple
+    l_per_packet: float
+    m_per_packet: float
+    efficiency: float
+
+
+@functools.lru_cache(maxsize=4096)
+def _solve_group_lp(
+    n: int,
+    p: float,
+    z_cost_factor: float,
+    max_iterations: int,
+    tol: float,
+    max_level: Optional[int] = None,
+) -> AllocationProfile:
+    """Dinkelbach iteration over the level-variable LP (memoized).
+
+    Campaigns evaluate the same ``(n, p)`` grid cells thousands of
+    times (allocation planning, figure regeneration, batched scenario
+    sweeps), so the solve is cached on its full argument tuple.
+
+    ``max_level`` restricts the allocation to subsets of at most that
+    size: estimators with structural blind spots (leave-one-out needs a
+    witness outside the subset, k-collusion needs k) cannot certify
+    high-level blocks, and planning rows there would waste the budget.
+    """
     r = n - 1  # receivers
-    levels = list(range(1, r + 1))
+    level_cap = r if max_level is None else min(max_level, r)
+    levels = list(range(1, level_cap + 1))
     n_vars = len(levels) + 1
     l_idx = len(levels)
 
@@ -119,26 +165,100 @@ def group_efficiency_lp(
             sum(math.comb(r, t) * a_values[j] for j, t in enumerate(levels))
         )
 
+    zc = z_cost_factor
     theta = 0.0
     best_eff = 0.0
+    best_x = np.zeros(n_vars)
     for _ in range(max_iterations):
-        # maximise L - theta (1 + M - L)
+        # maximise L - theta (1 + z_cost (M - L))
         c = np.zeros(n_vars)
         for j, t in enumerate(levels):
-            c[j] = theta * math.comb(r, t)
-        c[l_idx] = -(1.0 + theta)
+            c[j] = theta * zc * math.comb(r, t)
+        c[l_idx] = -(1.0 + theta * zc)
         res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=(0, None), method="highs")
         if not res.success:  # pragma: no cover — always feasible (all-zero)
             break
         l_val = float(res.x[l_idx])
         m_val = m_total(res.x[:l_idx])
-        denom = 1.0 + m_val - l_val
+        denom = 1.0 + zc * (m_val - l_val)
         eff = 0.0 if denom <= 0 else l_val / denom
-        best_eff = max(best_eff, eff)
+        if eff > best_eff:
+            best_eff = eff
+            best_x = res.x
         if abs(eff - theta) < tol:
             break
         theta = eff
-    return best_eff
+    # Pad the level vector to r entries so consumers can index by subset
+    # size regardless of the cap.
+    level_rows = [float(v) for v in best_x[:l_idx]] + [0.0] * (r - level_cap)
+    return AllocationProfile(
+        n=n,
+        p=p,
+        z_cost_factor=zc,
+        level_rows=tuple(level_rows),
+        l_per_packet=float(best_x[l_idx]),
+        m_per_packet=m_total(best_x[:l_idx]),
+        efficiency=best_eff,
+    )
+
+
+def group_allocation_profile(
+    n: int,
+    p: float,
+    z_cost_factor: float = 1.0,
+    max_level: Optional[int] = None,
+) -> AllocationProfile:
+    """Optimal symmetric allocation for ``(n, p)`` (memoized LP solve).
+
+    ``max_level`` caps the decodable-subset size the plan may use (see
+    :func:`_solve_group_lp`); ``None`` leaves it unrestricted.
+    """
+    _validate(n, p)
+    if not z_cost_factor > 0:
+        raise ValueError("z_cost_factor must be positive")
+    if p in (0.0, 1.0) or (max_level is not None and max_level < 1):
+        return AllocationProfile(
+            n=n,
+            p=p,
+            z_cost_factor=z_cost_factor,
+            level_rows=tuple(0.0 for _ in range(n - 1)),
+            l_per_packet=0.0,
+            m_per_packet=0.0,
+            efficiency=0.0,
+        )
+    if max_level is not None and max_level >= n - 1:
+        max_level = None  # unrestricted: share the cache entry
+    return _solve_group_lp(
+        n, float(p), float(z_cost_factor), 25, 1e-10, max_level
+    )
+
+
+def group_efficiency_lp(
+    n: int, p: float, max_iterations: int = 25, tol: float = 1e-10
+) -> float:
+    """Maximum efficiency of the group algorithm for finite ``n``.
+
+    Solves the linear fractional program described in the module
+    docstring via Dinkelbach iteration (each step one LP in the ``n-1``
+    level variables plus ``L``).  Solves are memoized on ``(n, p,
+    max_iterations, tol)``; see :func:`efficiency_cache_info`.
+    """
+    _validate(n, p)
+    if p in (0.0, 1.0):
+        return 0.0
+    # Pass max_level positionally: lru_cache keys distinguish omitted
+    # defaults from explicit ones, and both entry points must share hits.
+    return _solve_group_lp(n, float(p), 1.0, max_iterations, tol, None).efficiency
+
+
+def efficiency_cache_info():
+    """Hit/miss statistics of the memoized efficiency LP solver."""
+    return _solve_group_lp.cache_info()
+
+
+def clear_efficiency_cache() -> None:
+    """Drop every memoized LP solve (tests use this for isolation)."""
+    _solve_group_lp.cache_clear()
 
 
 def group_efficiency(n, p: float) -> float:

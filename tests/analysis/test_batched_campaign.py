@@ -1,0 +1,131 @@
+"""The batched testbed-campaign path: probing, bridging, aggregation.
+
+scripts/run_reference_campaign.py defaults to this path, so it needs
+coverage independent of the synthetic-scenario sim suite: the
+testbed-to-MatrixLossSpec bridge (link ordering!), the per-placement
+batched experiment, and run_campaign's engine dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SessionConfig, Testbed, TestbedConfig
+from repro.analysis import (
+    CampaignConfig,
+    placement_loss_specs,
+    run_campaign,
+    run_placement_experiment_batched,
+)
+from repro.core import OracleEstimator
+from repro.sim import LeaveOneOutEstimatorSpec, OracleEstimatorSpec
+from repro.testbed import Placement
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(TestbedConfig(interferer_power_dbm=10.0))
+
+
+PLACEMENT = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+CONFIG = CampaignConfig(
+    session=SessionConfig(n_x_packets=60, payload_bytes=40, secrecy_slack=1),
+    seed=2012,
+    max_placements_per_n=2,
+    group_sizes=(4,),
+)
+
+
+class TestPlacementLossSpecs:
+    def test_one_spec_per_leader_with_eve_last(self, testbed):
+        rng = np.random.default_rng(3)
+        specs = placement_loss_specs(testbed, PLACEMENT, rng, probe_trials=40)
+        assert len(specs) == PLACEMENT.n_terminals
+        for spec in specs:
+            # n - 1 receiver links plus Eve's antenna, all probabilities.
+            probs = spec.link_loss_probabilities(PLACEMENT.n_terminals)
+            assert probs.shape == (PLACEMENT.n_terminals,)
+            assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_jammed_grid_is_lossy(self, testbed):
+        # With a 10 dBm interferer the mean link loss cannot be ~zero;
+        # a wiring bug (wrong link order, probe of the wrong pair)
+        # typically shows up as degenerate rates.
+        rng = np.random.default_rng(3)
+        specs = placement_loss_specs(testbed, PLACEMENT, rng, probe_trials=40)
+        mean_loss = float(
+            np.mean(
+                [spec.link_loss_probabilities(PLACEMENT.n_terminals) for spec in specs]
+            )
+        )
+        assert 0.05 < mean_loss < 0.95
+
+
+class TestBatchedPlacementExperiment:
+    def test_record_fields_sane(self, testbed):
+        record = run_placement_experiment_batched(
+            testbed,
+            PLACEMENT,
+            LeaveOneOutEstimatorSpec(rate_margin=0.05),
+            CONFIG,
+            rounds_per_leader=4,
+            probe_trials=40,
+        )
+        assert record.n_terminals == 4
+        assert record.placement == PLACEMENT
+        assert 0.0 <= record.reliability <= 1.0
+        assert 0.0 <= record.efficiency < 1.0
+        assert record.transmitted_bits > 0
+        assert record.secret_bits >= 0
+
+    def test_deterministic_per_campaign_seed(self, testbed):
+        kwargs = dict(rounds_per_leader=4, probe_trials=40)
+        a = run_placement_experiment_batched(
+            testbed, PLACEMENT, OracleEstimatorSpec(), CONFIG, **kwargs
+        )
+        b = run_placement_experiment_batched(
+            testbed, PLACEMENT, OracleEstimatorSpec(), CONFIG, **kwargs
+        )
+        assert a.efficiency == b.efficiency
+        assert a.reliability == b.reliability
+
+
+class TestEngineDispatch:
+    def test_batched_campaign_runs(self, testbed):
+        result = run_campaign(
+            testbed,
+            config=CONFIG,
+            engine="batched",
+            estimator_spec=LeaveOneOutEstimatorSpec(rate_margin=0.05),
+            rounds_per_leader=4,
+            probe_trials=40,
+        )
+        assert len(result.records) == 2
+        assert result.group_sizes() == [4]
+        for r in result.records:
+            assert 0.0 <= r.reliability <= 1.0
+
+    def test_unknown_engine_rejected(self, testbed):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_campaign(testbed, engine="warp", config=CONFIG)
+
+    def test_missing_and_mismatched_arguments_rejected(self, testbed):
+        with pytest.raises(ValueError, match="needs an estimator_spec"):
+            run_campaign(testbed, engine="batched", config=CONFIG)
+        with pytest.raises(ValueError, match="needs an estimator_factory"):
+            run_campaign(testbed, engine="packet", config=CONFIG)
+        with pytest.raises(ValueError, match="batched engine"):
+            run_campaign(
+                testbed,
+                estimator_factory=lambda tb, pl: OracleEstimator(),
+                engine="batched",
+                estimator_spec=OracleEstimatorSpec(),
+                config=CONFIG,
+            )
+        with pytest.raises(ValueError, match="packet engine"):
+            run_campaign(
+                testbed,
+                estimator_factory=lambda tb, pl: OracleEstimator(),
+                engine="packet",
+                estimator_spec=OracleEstimatorSpec(),
+                config=CONFIG,
+            )

@@ -96,6 +96,45 @@ class TestFlowAssignment:
     def test_empty_demand(self):
         assert _assign_ids_by_flow({frozenset({1}): [0]}, {}) == {}
 
+    def test_assignment_independent_of_hash_seed(self):
+        """Regression: the flow graph once keyed nodes on frozensets of
+        terminal-name *strings*; the solver's set-based worklists then
+        iterated in PYTHONHASHSEED order and picked a different optimal
+        flow per process, making campaigns irreproducible (the old
+        flaky estimator-ablation benchmark).  Plans must now be
+        bit-identical across interpreter hash seeds."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import numpy as np\n"
+            "from repro.coding.privacy import plan_y_allocation\n"
+            "rng = np.random.default_rng(4)\n"
+            "n = 60\n"
+            "reports = {f'T{t}': {i for i in range(n) if rng.random() > 0.4}\n"
+            "           for t in range(1, 5)}\n"
+            "alloc = plan_y_allocation(reports, lambda ids, e=frozenset():"
+            " 0.3 * len(ids), n)\n"
+            "print([(sorted(b.subset), list(b.support), b.rows)"
+            " for b in alloc.blocks])\n"
+        )
+        outputs = set()
+        for hash_seed in ("0", "1", "271828"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PYTHONPATH": ":".join(sys.path),
+                },
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
 
 class TestGrowSupport:
     def budget(self, ids, exclude=frozenset()):

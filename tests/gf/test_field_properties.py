@@ -1,0 +1,197 @@
+"""Property-based tests: GF(256) field axioms and the Cauchy guarantee.
+
+The secrecy argument rests on two algebraic facts: GF(2^8) really is a
+field (so Gaussian elimination, ranks and inverses behave), and Cauchy
+matrices are superregular (every square minor is invertible — the
+property the z/s-map in repro.coding.privacy leans on for both
+decodability and secrecy).  Hypothesis explores the input space instead
+of hand-picked examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matmul,
+    gf_mul,
+    gf_pow,
+)
+from repro.gf.linalg import GFMatrix
+from repro.gf.matrices import cauchy_matrix
+
+element = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def gf_array(rows, cols):
+    return st.lists(
+        st.lists(element, min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    ).map(lambda data: np.array(data, dtype=np.uint8))
+
+
+small_dim = st.integers(min_value=1, max_value=5)
+
+
+class TestFieldAxioms:
+    @given(element, element)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(element, element, element)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(element, element, element)
+    @settings(max_examples=60, deadline=None)
+    def test_distributivity(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(element)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse(self, a):
+        inv = gf_inv(a)
+        assert 1 <= inv <= 255
+        assert gf_mul(a, inv) == 1
+
+    @given(element, nonzero)
+    @settings(max_examples=60, deadline=None)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    @given(nonzero)
+    @settings(max_examples=40, deadline=None)
+    def test_pow_cycles(self, a):
+        # The multiplicative group has order 255.
+        assert gf_pow(a, 255) == 1
+        assert gf_pow(a, 256) == a
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+
+class TestVectorisedConsistency:
+    """The array paths must agree with the scalar paths elementwise."""
+
+    @given(st.lists(element, min_size=1, max_size=32), element)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_vector_matches_scalar(self, values, b):
+        arr = np.array(values, dtype=np.uint8)
+        vec = gf_mul(arr, np.full(arr.shape, b, dtype=np.uint8))
+        for v, out in zip(values, vec):
+            assert int(out) == gf_mul(v, b)
+
+    @given(st.lists(nonzero, min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_inv_vector_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint8)
+        vec = gf_inv(arr)
+        for v, out in zip(values, vec):
+            assert int(out) == gf_inv(v)
+
+
+class TestMatmulProperties:
+    @given(small_dim, small_dim, small_dim, small_dim, st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_associative(self, r, k, m, c, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        a = rng.integers(0, 256, size=(r, k), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(k, m), dtype=np.uint8)
+        d = rng.integers(0, 256, size=(m, c), dtype=np.uint8)
+        left = gf_matmul(gf_matmul(a, b), d)
+        right = gf_matmul(a, gf_matmul(b, d))
+        assert np.array_equal(left, right)
+
+    @given(small_dim, small_dim, small_dim, st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_distributes_over_xor(self, r, k, c, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        a = rng.integers(0, 256, size=(r, k), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(k, c), dtype=np.uint8)
+        d = rng.integers(0, 256, size=(k, c), dtype=np.uint8)
+        left = gf_matmul(a, np.bitwise_xor(b, d))
+        right = np.bitwise_xor(gf_matmul(a, b), gf_matmul(a, d))
+        assert np.array_equal(left, right)
+
+    @given(small_dim, small_dim)
+    @settings(max_examples=25, deadline=None)
+    def test_identity_is_neutral(self, r, c):
+        rng = np.random.default_rng(r * 31 + c)
+        a = rng.integers(0, 256, size=(r, c), dtype=np.uint8)
+        eye = np.eye(r, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(eye, a), a)
+
+    @given(small_dim, small_dim, small_dim, st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_matches_schoolbook(self, r, k, c, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        a = rng.integers(0, 256, size=(r, k), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(k, c), dtype=np.uint8)
+        out = gf_matmul(a, b)
+        for i in range(r):
+            for j in range(c):
+                acc = 0
+                for t in range(k):
+                    acc = gf_add(acc, gf_mul(int(a[i, t]), int(b[t, j])))
+                assert int(out[i, j]) == acc
+
+
+class TestCauchySuperregularity:
+    """Every square minor of a Cauchy matrix is invertible — the z/s-map
+    construction of repro.coding.privacy depends on exactly this."""
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_square_minors_invertible(self, minor, cols, rnd):
+        rows = max(minor, 2)
+        cols = max(cols, minor)
+        matrix = cauchy_matrix(rows, cols)
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        row_pick = sorted(rng.choice(rows, size=minor, replace=False))
+        col_pick = sorted(rng.choice(cols, size=minor, replace=False))
+        sub = matrix.take_rows(row_pick).take_cols(col_pick)
+        assert sub.is_invertible()
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_stacked_square_invertible(self, size):
+        # Phase 2 stacks the z-block over the s-block of one m x m
+        # Cauchy matrix; invertibility of the whole square is what keeps
+        # the s-packets uniform given the z-packets.
+        assert cauchy_matrix(size, size).is_invertible()
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_full_row_rank_on_any_support(self, rows, cols, rnd):
+        # A block with rows <= cols keeps full row rank on every column
+        # subset of size rows (the y-block decodability certificate).
+        cols = max(cols, rows)
+        matrix = cauchy_matrix(rows, cols)
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        pick = sorted(rng.choice(cols, size=rows, replace=False))
+        assert matrix.take_cols(pick).rank() == rows

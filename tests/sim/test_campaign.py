@@ -1,0 +1,125 @@
+"""Campaign runner: grid expansion, determinism, sharding, memoization."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    AdversarySpec,
+    CampaignRunner,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    Scenario,
+    ScenarioGrid,
+    run_sim_campaign,
+)
+from repro.theory import clear_efficiency_cache, efficiency_cache_info
+
+GRID = ScenarioGrid(
+    group_sizes=(3, 4),
+    loss_models=(IIDLossSpec(0.3), IIDLossSpec(0.5)),
+    estimators=(OracleEstimatorSpec(), LeaveOneOutEstimatorSpec(0.05)),
+    rounds=60,
+    n_x_packets=60,
+)
+
+
+class TestScenarioGrid:
+    def test_cartesian_expansion(self):
+        cells = GRID.scenarios()
+        assert len(cells) == GRID.size() == 2 * 2 * 2
+        assert {c.n_terminals for c in cells} == {3, 4}
+        # Every cell inherits the shared sizing.
+        assert all(c.rounds == 60 and c.n_x_packets == 60 for c in cells)
+
+    def test_axis_order_is_stable(self):
+        first = GRID.scenarios()
+        second = GRID.scenarios()
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            ScenarioGrid(loss_models=(0.5,))
+        with pytest.raises(TypeError):
+            ScenarioGrid(estimators=("oracle",))
+        with pytest.raises(TypeError):
+            ScenarioGrid(adversaries=(1,))
+
+
+class TestCampaignRunner:
+    def test_runs_every_cell(self):
+        result = CampaignRunner(seed=1).run(GRID)
+        assert len(result.outcomes) == GRID.size()
+        assert result.total_rounds == GRID.size() * 60
+        assert result.group_sizes() == [3, 4]
+        assert len(result.reliabilities(3)) == 4 * 60
+
+    def test_seed_determinism(self):
+        a = CampaignRunner(seed=5).run(GRID)
+        b = CampaignRunner(seed=5).run(GRID)
+        for oa, ob in zip(a.outcomes, b.outcomes):
+            assert np.array_equal(
+                oa.result.secret_packets, ob.result.secret_packets
+            )
+        c = CampaignRunner(seed=6).run(GRID)
+        assert any(
+            not np.array_equal(
+                oa.result.secret_packets, oc.result.secret_packets
+            )
+            for oa, oc in zip(a.outcomes, c.outcomes)
+        )
+
+    def test_sharded_equals_serial(self):
+        serial = CampaignRunner(seed=7, max_workers=1).run(GRID)
+        sharded = CampaignRunner(seed=7, max_workers=4).run(GRID)
+        for a, b in zip(serial.outcomes, sharded.outcomes):
+            assert a.scenario == b.scenario
+            assert np.array_equal(a.result.efficiency, b.result.efficiency)
+            assert np.array_equal(a.result.reliability, b.result.reliability)
+
+    def test_accepts_explicit_scenario_list(self):
+        cells = [
+            Scenario(n_terminals=3, loss=IIDLossSpec(0.4), rounds=30,
+                     n_x_packets=50),
+            Scenario(n_terminals=5, loss=IIDLossSpec(0.4), rounds=30,
+                     n_x_packets=50,
+                     adversary=AdversarySpec(antennas=2)),
+        ]
+        result = run_sim_campaign(cells, seed=3)
+        assert [o.n_terminals for o in result.outcomes] == [3, 5]
+
+    def test_empty_grid(self):
+        assert run_sim_campaign([]).outcomes == []
+
+    def test_progress_callback(self):
+        seen = []
+        CampaignRunner(seed=2).run(GRID, progress=seen.append)
+        assert len(seen) == GRID.size()
+
+    def test_reliability_summary_view(self):
+        result = CampaignRunner(seed=8).run(GRID)
+        summary = result.outcomes[0].reliability_summary()
+        assert summary.n_experiments == 60
+        assert 0.0 <= summary.minimum <= summary.median <= 1.0
+
+
+class TestAllocationMemoization:
+    def test_lp_solved_once_per_distinct_cell(self):
+        clear_efficiency_cache()
+        grid = ScenarioGrid(
+            group_sizes=(4,),
+            loss_models=(IIDLossSpec(0.45),),
+            estimators=(OracleEstimatorSpec(), LeaveOneOutEstimatorSpec(0.05)),
+            rounds=40,
+            n_x_packets=50,
+        )
+        CampaignRunner(seed=1).run(grid)
+        info = efficiency_cache_info()
+        # Two distinct LP keys: the estimators differ in certifiable
+        # level cap (oracle plans all levels, leave-one-out stops at
+        # r - 1), but each solves exactly once.
+        assert info.misses == 2
+        CampaignRunner(seed=2).run(grid)
+        after = efficiency_cache_info()
+        assert after.misses == 2
+        assert after.hits >= info.hits + 2

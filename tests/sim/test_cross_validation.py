@@ -1,0 +1,124 @@
+"""Cross-validation: batched engine vs the per-packet ground truth.
+
+The per-packet :class:`~repro.core.session.ProtocolSession` is the
+oracle; the batched engine must agree with it on delivery statistics
+and secret rates within Monte-Carlo tolerance.  These are the fast
+unit-sized checks; the campaign-scale comparison (with the >= 20x
+speedup assertion) lives in benchmarks/test_sim_campaign.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import LeaveOneOutEstimator, OracleEstimator
+from repro.core.session import ProtocolSession, SessionConfig
+from repro.net.medium import BroadcastMedium, IIDLossModel
+from repro.net.node import Eavesdropper, Terminal
+from repro.sim import (
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    Scenario,
+    run_batch,
+)
+
+N_PACKETS = 100
+Z_COST = 2.0  # the SessionConfig default the sessions plan with
+
+
+def run_session_rounds(n, p, estimator_factory, n_rounds=6, seed=7):
+    """Per-packet rounds; returns (mean idealised efficiency, mean
+    reliability, per-receiver delivery rates)."""
+    effs, rels, rates = [], [], []
+    names = [f"T{i}" for i in range(n)]
+    for k in range(n_rounds):
+        rng = np.random.default_rng(seed + 997 * k)
+        nodes = [Terminal(name=x) for x in names] + [Eavesdropper(name="eve")]
+        medium = BroadcastMedium(nodes, IIDLossModel(p), rng)
+        config = SessionConfig(
+            n_x_packets=N_PACKETS, payload_bytes=8, z_cost_factor=Z_COST
+        )
+        session = ProtocolSession(
+            medium, names, estimator_factory(), rng, config=config
+        )
+        result = session.run_round(names[0])
+        effs.append(
+            result.secret_packets / (N_PACKETS + result.plan.total_public)
+        )
+        rels.append(result.leakage.reliability)
+        rates.append(
+            [len(result.reports[t]) / N_PACKETS for t in names[1:]]
+        )
+    return float(np.mean(effs)), float(np.mean(rels)), np.mean(rates, axis=0)
+
+
+def run_batched(n, p, estimator_spec, rounds=2500, seed=3):
+    scenario = Scenario(
+        n_terminals=n,
+        loss=IIDLossSpec(p),
+        estimator=estimator_spec,
+        n_x_packets=N_PACKETS,
+        rounds=rounds,
+        z_cost_factor=Z_COST,
+    )
+    return run_batch(scenario, seed=seed)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("n,p", [(3, 0.5), (4, 0.4)])
+    def test_delivery_and_secret_rates(self, n, p):
+        sess_eff, sess_rel, sess_rates = run_session_rounds(
+            n, p, OracleEstimator
+        )
+        batch = run_batched(n, p, estimator_spec=OracleEstimatorSpec())
+        # Delivery statistics: both sides must sit at 1 - p.
+        assert np.allclose(batch.delivery_rates, 1 - p, atol=0.02)
+        assert np.allclose(sess_rates, 1 - p, atol=0.06)
+        # Under the oracle both engines certify a perfectly hidden secret.
+        assert sess_rel == 1.0
+        assert batch.min_reliability == 1.0
+        # Secret rate: Monte-Carlo tolerance between the engines.
+        assert batch.mean_efficiency == pytest.approx(sess_eff, abs=0.06)
+
+    def test_secret_length_scales_with_n_packets(self):
+        small = run_batched(
+            3, 0.5, estimator_spec=OracleEstimatorSpec(), rounds=1500
+        )
+        big_scenario = Scenario(
+            n_terminals=3,
+            loss=IIDLossSpec(0.5),
+            n_x_packets=3 * N_PACKETS,
+            rounds=1500,
+            z_cost_factor=Z_COST,
+        )
+        big = run_batch(big_scenario, seed=3)
+        ratio = big.secret_packets.mean() / small.secret_packets.mean()
+        assert ratio == pytest.approx(3.0, rel=0.1)
+
+
+class TestLeaveOneOutAgreement:
+    def test_reliability_within_tolerance(self):
+        sess_eff, sess_rel, _ = run_session_rounds(
+            4, 0.4, lambda: LeaveOneOutEstimator(rate_margin=0.05), n_rounds=8
+        )
+        batch = run_batched(
+            4, 0.4, LeaveOneOutEstimatorSpec(rate_margin=0.05)
+        )
+        assert batch.mean_reliability == pytest.approx(sess_rel, abs=0.08)
+        # The batched planner is fractional/optimistic; the session pays
+        # integrality and flow-assignment costs.  Both must sit in the
+        # same band.
+        assert batch.mean_efficiency == pytest.approx(sess_eff, abs=0.06)
+
+    def test_both_engines_rank_estimators_identically(self):
+        # Oracle >= leave-one-out in secret rate, on both engines.
+        sess_eff_oracle, _, _ = run_session_rounds(4, 0.4, OracleEstimator)
+        sess_eff_loo, _, _ = run_session_rounds(
+            4, 0.4, lambda: LeaveOneOutEstimator(rate_margin=0.05)
+        )
+        batch_oracle = run_batched(4, 0.4, OracleEstimatorSpec())
+        batch_loo = run_batched(
+            4, 0.4, LeaveOneOutEstimatorSpec(rate_margin=0.05)
+        )
+        assert sess_eff_oracle >= sess_eff_loo - 1e-9
+        assert batch_oracle.mean_efficiency >= batch_loo.mean_efficiency - 1e-9

@@ -1,0 +1,162 @@
+"""Reception sampling: marginals must match the per-packet loss models.
+
+Every :class:`repro.sim.spec.LossSpec` has a per-packet counterpart in
+:mod:`repro.net.medium` / :mod:`repro.net.channel`; these tests pin the
+statistical contract between the two — same marginal loss rate per
+link, within Monte-Carlo tolerance — plus seeded determinism of the
+vectorised draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import GilbertElliottChannel
+from repro.net.medium import ChannelLossModel, IIDLossModel, MatrixLossModel
+from repro.net.node import Terminal
+from repro.net.packet import Packet, PacketKind
+from repro.sim.reception import sample_receptions
+from repro.sim.spec import (
+    AdversarySpec,
+    GilbertElliottLossSpec,
+    IIDLossSpec,
+    MatrixLossSpec,
+    Scenario,
+)
+
+
+def _probe_lost_at(model, n_samples, seed=5):
+    """Empirical loss rate of a per-packet LossModel on one link."""
+    rng = np.random.default_rng(seed)
+    src = Terminal(name="src")
+    dst = Terminal(name="dst")
+    packet = Packet(
+        kind=PacketKind.X_DATA, src="src", payload=np.zeros(4, dtype=np.uint8)
+    )
+    losses = sum(
+        1
+        for k in range(n_samples)
+        if model.lost_at(src, (0.0, 0.0), dst, packet, k, rng)
+    )
+    return losses / n_samples
+
+
+class TestIIDMarginals:
+    @pytest.mark.parametrize("p", [0.1, 0.4, 0.7])
+    def test_matches_iid_loss_model(self, p):
+        spec = IIDLossSpec(p)
+        lost = spec.sample_losses(200, 3, 100, np.random.default_rng(1))
+        batched_rate = lost.mean()
+        packet_rate = _probe_lost_at(IIDLossModel(p), 20_000)
+        assert batched_rate == pytest.approx(p, abs=0.01)
+        assert packet_rate == pytest.approx(p, abs=0.01)
+
+    def test_marginal_vector(self):
+        assert np.allclose(IIDLossSpec(0.3).link_loss_probabilities(4), 0.3)
+
+
+class TestMatrixMarginals:
+    def test_per_link_rates(self):
+        probs = (0.1, 0.5, 0.8)
+        spec = MatrixLossSpec(probabilities=probs)
+        lost = spec.sample_losses(400, 3, 120, np.random.default_rng(2))
+        per_link = lost.mean(axis=(0, 2))
+        assert np.allclose(per_link, probs, atol=0.01)
+
+    def test_matches_matrix_loss_model(self):
+        model = MatrixLossModel({("src", "dst"): 0.35}, default=0.0)
+        packet_rate = _probe_lost_at(model, 20_000)
+        spec_rate = MatrixLossSpec(probabilities=(0.35,)).link_loss_probabilities(1)[0]
+        assert packet_rate == pytest.approx(spec_rate, abs=0.01)
+
+    def test_link_count_mismatch_raises(self):
+        # Too few is obviously an error; too many must not silently
+        # slice either — the trailing entry is Eve's antenna, and a
+        # spec sized for another group would misassign it.
+        with pytest.raises(ValueError):
+            MatrixLossSpec(probabilities=(0.2,)).link_loss_probabilities(3)
+        with pytest.raises(ValueError):
+            MatrixLossSpec(probabilities=(0.2, 0.3, 0.4)).link_loss_probabilities(2)
+
+
+class TestGilbertElliottMarginals:
+    SPEC = GilbertElliottLossSpec(p_g2b=0.1, p_b2g=0.3, p_good=0.05, p_bad=0.9)
+
+    def test_steady_state_formula(self):
+        s = self.SPEC
+        expected = (s.p_b2g * s.p_good + s.p_g2b * s.p_bad) / (s.p_g2b + s.p_b2g)
+        assert s.steady_state_loss() == pytest.approx(expected)
+
+    def test_batched_marginal_matches_steady_state(self):
+        lost = self.SPEC.sample_losses(300, 2, 200, np.random.default_rng(3))
+        assert lost.mean() == pytest.approx(self.SPEC.steady_state_loss(), abs=0.01)
+
+    def test_matches_channel_loss_model(self):
+        s = self.SPEC
+        channel = GilbertElliottChannel(s.p_g2b, s.p_b2g, s.p_good, s.p_bad)
+        model = ChannelLossModel({("src", "dst"): channel})
+        packet_rate = _probe_lost_at(model, 30_000)
+        assert packet_rate == pytest.approx(s.steady_state_loss(), abs=0.015)
+
+    def test_burstiness_raises_consecutive_loss_rate(self):
+        # P(lost | previous lost) must exceed the marginal for a bursty
+        # chain — the property IID sampling would destroy.
+        lost = self.SPEC.sample_losses(500, 1, 150, np.random.default_rng(4))
+        seq = lost[:, 0, :]
+        prev = seq[:, :-1]
+        nxt = seq[:, 1:]
+        conditional = nxt[prev].mean()
+        assert conditional > self.SPEC.steady_state_loss() + 0.05
+
+
+class TestSampleReceptions:
+    def test_shapes_and_link_order(self):
+        scenario = Scenario(
+            n_terminals=4, loss=IIDLossSpec(0.4), n_x_packets=50, rounds=10
+        )
+        batch = sample_receptions(scenario, 30, np.random.default_rng(0))
+        assert batch.terminals.shape == (30, 3, 50)
+        assert batch.eve.shape == (30, 50)
+
+    def test_seeded_determinism(self):
+        scenario = Scenario(
+            n_terminals=3, loss=IIDLossSpec(0.5), n_x_packets=40, rounds=5
+        )
+        a = sample_receptions(scenario, 20, np.random.default_rng(77))
+        b = sample_receptions(scenario, 20, np.random.default_rng(77))
+        assert np.array_equal(a.terminals, b.terminals)
+        assert np.array_equal(a.eve, b.eve)
+        c = sample_receptions(scenario, 20, np.random.default_rng(78))
+        assert not np.array_equal(a.terminals, c.terminals)
+
+    def test_multi_antenna_eve_receives_more(self):
+        base = Scenario(n_terminals=3, loss=IIDLossSpec(0.6), n_x_packets=80)
+        multi = Scenario(
+            n_terminals=3,
+            loss=IIDLossSpec(0.6),
+            adversary=AdversarySpec(antennas=3),
+            n_x_packets=80,
+        )
+        rng = np.random.default_rng(9)
+        single_rate = sample_receptions(base, 300, rng).eve.mean()
+        multi_rate = sample_receptions(multi, 300, rng).eve.mean()
+        assert single_rate == pytest.approx(0.4, abs=0.02)
+        assert multi_rate == pytest.approx(1 - 0.6**3, abs=0.02)
+
+    def test_adversary_loss_override(self):
+        scenario = Scenario(
+            n_terminals=3,
+            loss=IIDLossSpec(0.2),
+            adversary=AdversarySpec(loss=0.9),
+            n_x_packets=60,
+        )
+        batch = sample_receptions(scenario, 400, np.random.default_rng(11))
+        assert batch.terminals.mean() == pytest.approx(0.8, abs=0.01)
+        assert batch.eve.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_delivery_rate_helper(self):
+        scenario = Scenario(
+            n_terminals=3, loss=IIDLossSpec(0.3), n_x_packets=100
+        )
+        batch = sample_receptions(scenario, 200, np.random.default_rng(12))
+        assert np.allclose(batch.delivery_rates(), 0.7, atol=0.02)
+        assert batch.eve_missed_counts().shape == (200,)

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.core",
     "repro.theory",
     "repro.analysis",
+    "repro.sim",
     "repro.auth",
     "repro.cli",
 ]
@@ -33,7 +34,8 @@ class TestImports:
     @pytest.mark.parametrize(
         "name",
         ["repro.gf", "repro.coding", "repro.net", "repro.testbed",
-         "repro.core", "repro.theory", "repro.analysis", "repro.auth"],
+         "repro.core", "repro.theory", "repro.analysis", "repro.sim",
+         "repro.auth"],
     )
     def test_subpackage_all_resolves(self, name):
         module = importlib.import_module(name)

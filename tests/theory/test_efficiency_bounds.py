@@ -9,6 +9,9 @@ from hypothesis import strategies as st
 
 from repro.theory.bounds import group_secret_upper_bound, pairwise_secrecy_capacity
 from repro.theory.efficiency import (
+    clear_efficiency_cache,
+    efficiency_cache_info,
+    group_allocation_profile,
     group_efficiency,
     group_efficiency_infinite,
     group_efficiency_lp,
@@ -86,6 +89,114 @@ class TestGroup:
             group_efficiency(1, 0.5)
         with pytest.raises(ValueError):
             group_efficiency_infinite(-0.1)
+
+
+class TestInfiniteLimitClosedForm:
+    """Regression pin for the n -> inf closed form p(1-p)/(1+p^2).
+
+    The Figure-1 seed suite once compared the limit against 0.8x the
+    n=2 value with a strict `>` — which fails at p = 0.5, where the
+    ratio is *exactly* 0.8.  These tests pin the closed form and that
+    boundary identity so the relationship stays explicit.
+    """
+
+    @pytest.mark.parametrize("p", [0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9])
+    def test_closed_form_values(self, p):
+        expected = p * (1.0 - p) / (1.0 + p * p)
+        assert group_efficiency_infinite(p) == pytest.approx(expected, abs=1e-15)
+        assert group_efficiency(math.inf, p) == pytest.approx(expected, abs=1e-15)
+
+    def test_boundary_identity_at_half(self):
+        # p(1-p)/(1+p^2) at p=0.5 is 0.2 — exactly 80% of the n=2 peak.
+        limit = group_efficiency_infinite(0.5)
+        assert limit == pytest.approx(0.2, abs=1e-15)
+        assert limit == pytest.approx(0.8 * group_efficiency(2, 0.5), abs=1e-15)
+
+    def test_edges_vanish(self):
+        assert group_efficiency_infinite(0.0) == 0.0
+        assert group_efficiency_infinite(1.0) == 0.0
+
+    def test_limit_peak_location(self):
+        # d/dp [p(1-p)/(1+p^2)] = 0 at p = sqrt(2) - 1.
+        p_star = math.sqrt(2.0) - 1.0
+        grid = np.linspace(0.01, 0.99, 197)
+        best = max(group_efficiency_infinite(p) for p in grid)
+        assert group_efficiency_infinite(p_star) >= best - 1e-9
+
+
+class TestEfficiencyCache:
+    def test_cache_hits_and_unchanged_results(self):
+        clear_efficiency_cache()
+        first = group_efficiency(7, 0.45)
+        after_first = efficiency_cache_info()
+        assert after_first.misses >= 1
+        second = group_efficiency(7, 0.45)
+        after_second = efficiency_cache_info()
+        assert second == first
+        assert after_second.hits == after_first.hits + 1
+        assert after_second.misses == after_first.misses
+
+    def test_cached_matches_fresh_solve(self):
+        clear_efficiency_cache()
+        warm = group_efficiency_lp(6, 0.35)
+        cached = group_efficiency_lp(6, 0.35)
+        clear_efficiency_cache()
+        fresh = group_efficiency_lp(6, 0.35)
+        assert cached == warm
+        assert fresh == pytest.approx(warm, abs=1e-12)
+
+    def test_distinct_keys_do_not_collide(self):
+        clear_efficiency_cache()
+        a = group_efficiency_lp(5, 0.3)
+        b = group_efficiency_lp(5, 0.4)
+        c = group_efficiency_lp(6, 0.3)
+        assert len({round(v, 12) for v in (a, b, c)}) == 3
+
+
+class TestAllocationProfile:
+    def test_profile_consistent_with_efficiency(self):
+        for n, p in [(3, 0.5), (5, 0.3), (8, 0.6)]:
+            profile = group_allocation_profile(n, p)
+            assert profile.efficiency == pytest.approx(
+                group_efficiency_lp(n, p), abs=1e-12
+            )
+            # The profile's own L and M reproduce its efficiency value.
+            implied = profile.l_per_packet / (
+                1.0 + profile.m_per_packet - profile.l_per_packet
+            )
+            assert implied == pytest.approx(profile.efficiency, rel=1e-6)
+
+    def test_profile_respects_budget_constraints(self):
+        n, p = 6, 0.4
+        profile = group_allocation_profile(n, p)
+        r = n - 1
+        # s = 0 union bound: M <= p (1 - p^r) per packet.
+        assert profile.m_per_packet <= p * (1 - p**r) + 1e-9
+        # Coverage: L <= M_i per packet.
+        m_i = sum(
+            math.comb(r - 1, t - 1) * a
+            for t, a in enumerate(profile.level_rows, start=1)
+        )
+        assert profile.l_per_packet <= m_i + 1e-9
+
+    def test_z_cost_factor_shrinks_overhead(self):
+        cheap = group_allocation_profile(6, 0.5, z_cost_factor=1.0)
+        pricey = group_allocation_profile(6, 0.5, z_cost_factor=4.0)
+        assert (
+            pricey.m_per_packet - pricey.l_per_packet
+            <= cheap.m_per_packet - cheap.l_per_packet + 1e-9
+        )
+
+    def test_degenerate_p(self):
+        profile = group_allocation_profile(4, 0.0)
+        assert profile.efficiency == 0.0
+        assert profile.l_per_packet == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_allocation_profile(1, 0.5)
+        with pytest.raises(ValueError):
+            group_allocation_profile(4, 0.5, z_cost_factor=0.0)
 
 
 class TestCapacityBounds:
