@@ -176,3 +176,39 @@ def test_benchmark_sharded_campaign(benchmark):
 
     result = benchmark.pedantic(run, iterations=1, rounds=3)
     assert result.total_rounds == sum(cell.rounds for cell in CELLS)
+
+
+@pytest.mark.campaign
+def test_slot_aware_bridge_beats_link_probe():
+    """The analytic per-pattern PER table must dominate the Monte-Carlo
+    link probe it replaced — on top of being slot-aware rather than
+    pattern-averaged.  Campaign-marked: wall-clock ratios belong to the
+    nightly job, not noisy per-push runners."""
+    from repro.analysis import placement_loss_specs
+    from repro.testbed import (
+        Placement,
+        Testbed,
+        TestbedConfig,
+        placement_schedule_specs,
+    )
+
+    testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+    placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+    t0 = time.perf_counter()
+    for i in range(3):
+        placement_schedule_specs(testbed, placement, np.random.default_rng(i))
+    analytic_seconds = (time.perf_counter() - t0) / 3
+    t0 = time.perf_counter()
+    for i in range(3):
+        placement_loss_specs(
+            testbed, placement, np.random.default_rng(i), probe_trials=120
+        )
+    probe_seconds = (time.perf_counter() - t0) / 3
+    speedup = probe_seconds / analytic_seconds
+    emit(
+        "Slot-aware analytic bridge vs Monte-Carlo link probe",
+        f"probe (120 trials): {probe_seconds * 1e3:7.1f} ms/placement\n"
+        f"analytic table    : {analytic_seconds * 1e3:7.1f} ms/placement\n"
+        f"speedup           : {speedup:7.1f}x",
+    )
+    assert speedup >= 3.0, f"analytic bridge only {speedup:.1f}x faster"

@@ -8,11 +8,17 @@ empirical estimator, writing JSON snapshots to scripts/out/.
 Engines (``--engine``):
 
 * ``batched`` (default) — the :mod:`repro.sim` Monte-Carlo engine:
-  per-placement link probing, then vectorised round batches.  Minutes
-  of per-packet simulation become seconds.
+  analytic slot-aware per-pattern loss tables, then vectorised round
+  batches.  Minutes of per-packet simulation become seconds.
 * ``packet`` — the per-packet :class:`repro.core.session.ProtocolSession`
   ground truth (the original reference path; slow).
 * ``both`` — run both and write both snapshots (cross-validation).
+
+Sharding (``--workers N``, ``--executor thread|process``): placements
+are independent experiments with private SeedSequence-derived RNG
+streams, so sharded runs are bit-identical to serial ones at the same
+seed.  Use the process executor to sidestep the GIL for the pure-Python
+packet engine.
 """
 
 import argparse
@@ -38,17 +44,21 @@ from repro.testbed.estimator import (
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
-def combined_factory(min_jam_loss):
-    def factory(testbed, placement):
+class CombinedFactory:
+    """Per-placement combined estimator, as a picklable callable so the
+    packet engine can shard across a process pool."""
+
+    def __init__(self, min_jam_loss):
+        self.min_jam_loss = min_jam_loss
+
+    def __call__(self, testbed, placement):
         ia = InterferenceAwareEstimator(
             testbed.interference,
             testbed.config.geometry,
-            min_jam_loss,
+            self.min_jam_loss,
             candidate_cells=testbed.eve_candidate_cells(placement),
         )
         return CombinedEstimator([ia, LeaveOneOutEstimator(rate_margin=0.02)])
-
-    return factory
 
 
 def loo_factory(testbed, placement):
@@ -85,7 +95,7 @@ def engine_variants(engine, pmin):
     """The two estimator variants, as run_campaign keyword arguments."""
     if engine == "packet":
         return (
-            ("combined", dict(estimator_factory=combined_factory(pmin))),
+            ("combined", dict(estimator_factory=CombinedFactory(pmin))),
             ("loo", dict(estimator_factory=loo_factory)),
         )
     return (
@@ -101,6 +111,18 @@ def main():
         choices=("batched", "packet", "both"),
         default="batched",
         help="simulation engine (default: batched; packet = ground truth)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard placements across N workers (bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind (process sidesteps the GIL for --engine packet)",
     )
     args = parser.parse_args()
     engines = ("batched", "packet") if args.engine == "both" else (args.engine,)
@@ -131,6 +153,8 @@ def main():
                 config=config,
                 progress=lambda n, pl: None,
                 engine=engine,
+                max_workers=args.workers,
+                executor=args.executor,
                 **kwargs,
             )
             path = os.path.join(OUT_DIR, f"campaign_{label}{suffix}.json")
@@ -150,7 +174,13 @@ def main():
                 flush=True,
             )
             for n in result.group_sizes():
-                s = summarize_reliability(n, result.reliabilities(n))
+                rels = result.reliabilities(n)
+                if not rels:
+                    # Every experiment at this n produced zero secret
+                    # (NaN reliability, excluded from aggregates).
+                    print(f"  n={n}: no secret produced", flush=True)
+                    continue
+                s = summarize_reliability(n, rels)
                 effs = result.efficiencies(n)
                 print(
                     f"  n={n}: rel min={s.minimum:.2f} p95={s.p95:.2f} "

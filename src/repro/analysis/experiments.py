@@ -13,19 +13,26 @@ Two engines run the same campaign design:
   through :class:`~repro.core.session.ProtocolSession`, packet by
   packet, retry by retry.
 * ``engine="batched"`` — the :mod:`repro.sim` Monte-Carlo engine: each
-  placement is probed once for its per-link, interference-averaged
-  loss probabilities, then every leader's rounds are simulated as one
-  vectorised batch.  Efficiency uses the idealised x+z accounting
-  (control traffic excluded), so batched records trade the ledger's
-  bit-exactness for two to three orders of magnitude of throughput.
+  placement's per-pattern link losses are computed analytically
+  (:mod:`repro.testbed.pertable` — no probe Monte-Carlo) and fed to a
+  slot-aware :class:`~repro.sim.spec.ScheduleLossSpec`, then every
+  leader's rounds are simulated as one vectorised batch.  Efficiency
+  uses the idealised x+z accounting (control traffic excluded), so
+  batched records trade the ledger's bit-exactness for two to three
+  orders of magnitude of throughput — while keeping the rotating
+  schedule's burstiness that the protocol's secrecy budget feeds on.
 
-Determinism: every experiment derives its RNG seed from (campaign seed,
-placement, n), so campaigns are reproducible and individually
-re-runnable — with either engine.
+Determinism: every experiment derives its RNG stream from a
+``SeedSequence`` keyed on (campaign seed, n, placement), so campaigns
+are reproducible, individually re-runnable, and — because placements
+are independent — shardable across workers with bit-identical results
+(``max_workers``), with either engine.
 """
 
 from __future__ import annotations
 
+import functools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -34,9 +41,11 @@ import numpy as np
 from repro.core.estimator import EveErasureEstimator
 from repro.core.rotation import ExperimentResult, run_experiment
 from repro.core.session import SessionConfig
+from repro.sim.campaign import shard_map
 from repro.sim.engine import BatchedRoundEngine
 from repro.sim.spec import EstimatorSpec, MatrixLossSpec, Scenario
 from repro.testbed.deployment import Testbed
+from repro.testbed.pertable import placement_schedule_specs
 from repro.testbed.placements import (
     Placement,
     enumerate_placements,
@@ -103,7 +112,17 @@ class CampaignResult:
         return [r for r in self.records if r.n_terminals == n]
 
     def reliabilities(self, n: int) -> list:
-        return [r.reliability for r in self.for_n(n)]
+        """Reliability population for Figure 2, NaN records excluded.
+
+        An experiment that produced no secret has no reliability (the
+        record carries NaN, not a flattering 1.0); including it would
+        bias the campaign mean, so the aggregate views drop it.
+        """
+        return [
+            r.reliability
+            for r in self.for_n(n)
+            if not math.isnan(r.reliability)
+        ]
 
     def efficiencies(self, n: int) -> list:
         return [r.efficiency for r in self.for_n(n)]
@@ -112,9 +131,19 @@ class CampaignResult:
         return sorted({r.n_terminals for r in self.records})
 
 
-def _experiment_seed(seed: int, placement: Placement, n: int) -> int:
-    key = (seed, n, placement.eve_cell) + tuple(placement.terminal_cells)
-    return abs(hash(key)) % (2**63)
+def _experiment_seed_sequence(
+    seed: int, placement: Placement, n: int
+) -> np.random.SeedSequence:
+    """Per-experiment RNG stream, keyed like the sharded batched runner.
+
+    ``SeedSequence(entropy=seed, spawn_key=...)`` mixes the campaign
+    seed with the placement coordinates through splitmix-style hashing:
+    deterministic across processes (no ``PYTHONHASHSEED`` dependence)
+    and collision-resistant where the old ``abs(hash(key)) % 2**63``
+    derivation folded sign pairs into colliding streams.
+    """
+    spawn_key = (n, placement.eve_cell) + tuple(placement.terminal_cells)
+    return np.random.SeedSequence(entropy=seed, spawn_key=spawn_key)
 
 
 def run_placement_experiment(
@@ -125,18 +154,24 @@ def run_placement_experiment(
 ) -> ExperimentRecord:
     """Run one experiment (full rotation) on one placement."""
     rng = np.random.default_rng(
-        _experiment_seed(config.seed, placement, placement.n_terminals)
+        _experiment_seed_sequence(config.seed, placement, placement.n_terminals)
     )
     medium, names = testbed.build_medium(placement, rng)
     estimator = estimator_factory(testbed, placement)
     result: ExperimentResult = run_experiment(
         medium, names, estimator, rng, config=config.session
     )
+    # Campaign-record convention, shared with the batched engine: an
+    # experiment that produced no secret has no reliability (NaN; the
+    # session-level metric keeps its own 0-bit convention of 1.0).
+    reliability = (
+        float("nan") if result.secret_bits <= 0 else result.reliability
+    )
     return ExperimentRecord(
         n_terminals=placement.n_terminals,
         placement=placement,
         efficiency=result.efficiency,
-        reliability=result.reliability,
+        reliability=reliability,
         secret_bits=result.secret_bits,
         transmitted_bits=result.metrics.transmitted_bits,
     )
@@ -148,12 +183,15 @@ def placement_loss_specs(
     rng: np.random.Generator,
     probe_trials: int = 120,
 ) -> list:
-    """Per-leader :class:`~repro.sim.spec.MatrixLossSpec`s for a placement.
+    """Legacy probe bridge: pattern-averaged IID specs (diagnostics only).
 
-    Probes every directed link once (Monte-Carlo over fading, averaged
-    across the rotating interference patterns) and returns one spec per
-    leader, links ordered as the batched engine expects: the other
-    terminals in placement order, then Eve.
+    Probes every directed link by Monte-Carlo and *averages loss across
+    the rotating interference patterns* into per-leader
+    :class:`~repro.sim.spec.MatrixLossSpec`s — erasing the slot-level
+    burstiness the schedule engineers.  The campaign path now uses the
+    analytic slot-aware bridge
+    (:func:`repro.testbed.pertable.placement_schedule_specs`); this
+    survives for cross-checking the marginals against it.
     """
     probe = testbed.link_loss_probe(placement, rng, trials=probe_trials)
     n_patterns = testbed.interference.n_patterns()
@@ -180,22 +218,26 @@ def run_placement_experiment_batched(
     estimator_spec: EstimatorSpec,
     config: CampaignConfig,
     rounds_per_leader: int = 8,
-    probe_trials: int = 120,
 ) -> ExperimentRecord:
     """Batched counterpart of :func:`run_placement_experiment`.
 
     One experiment still rotates the leader across every terminal, but
     each leader's rounds run as a single vectorised batch on the
-    probed link-loss matrix.  Reliability aggregates like the ledger
-    metric (secret-length-weighted); efficiency uses the idealised
-    x+z accounting.
+    analytic slot-aware loss schedule
+    (:func:`repro.testbed.pertable.placement_schedule_specs`), so the
+    rotating interference's per-pattern burstiness reaches the
+    subset-lattice accounting.  Reliability aggregates like the ledger
+    metric (secret-length-weighted) and is NaN when the experiment
+    produced no secret at all — campaign aggregates exclude those
+    records instead of counting them as perfectly reliable.  Efficiency
+    uses the idealised x+z accounting.
     """
     rng = np.random.default_rng(
-        _experiment_seed(config.seed, placement, placement.n_terminals)
+        _experiment_seed_sequence(config.seed, placement, placement.n_terminals)
     )
     session = config.session
-    specs = placement_loss_specs(
-        testbed, placement, rng, probe_trials=probe_trials
+    specs = placement_schedule_specs(
+        testbed, placement, rng, payload_bytes=session.payload_bytes
     )
     total_secret = 0.0
     total_hidden = 0.0
@@ -222,7 +264,9 @@ def run_placement_experiment_batched(
         total_transmitted += float(
             (session.n_x_packets + batch.public_packets).sum()
         )
-    reliability = 1.0 if total_secret <= 0 else total_hidden / total_secret
+    reliability = (
+        float("nan") if total_secret <= 0 else total_hidden / total_secret
+    )
     transmitted_bits = int(total_transmitted * session.payload_bytes * 8)
     eff = 0.0 if transmitted_bits == 0 else total_secret_bits / transmitted_bits
     return ExperimentRecord(
@@ -243,24 +287,36 @@ def run_campaign(
     engine: str = "packet",
     estimator_spec: Optional[EstimatorSpec] = None,
     rounds_per_leader: int = 8,
-    probe_trials: int = 120,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> CampaignResult:
     """Run the full campaign across group sizes and placements.
+
+    Placements are independent experiments with ``SeedSequence``-derived
+    private RNG streams, so sharding them across workers is bit-identical
+    to the serial run at a fixed seed — for the per-packet oracle too,
+    whose 9·C(8,n)-experiment campaigns are the expensive ones.
 
     Args:
         testbed: the deployment.
         estimator_factory: builds the per-placement estimator (packet
             engine; may be None when ``engine="batched"``).
         config: campaign parameters.
-        progress: optional callback invoked before each experiment.
+        progress: optional callback invoked before each experiment (at
+            submission time when sharded).
         engine: ``"packet"`` (per-packet ground truth) or ``"batched"``
             (the :mod:`repro.sim` engine).
         estimator_spec: declarative estimator policy (batched engine).
         rounds_per_leader: batch size per leader (batched engine).
-        probe_trials: link-probe Monte-Carlo trials (batched engine).
+        max_workers: shard placements across this many workers; None or
+            1 runs serially (identical records either way).
+        executor: ``"thread"`` or ``"process"``.  Processes sidestep the
+            GIL for the pure-Python packet engine but need a picklable
+            testbed/factory; threads suit the numpy-bound batched engine.
     """
     if engine not in ("packet", "batched"):
         raise ValueError(f"unknown engine {engine!r}")
+    config = config if config is not None else CampaignConfig()
     if engine == "packet":
         if estimator_factory is None:
             raise ValueError("the packet engine needs an estimator_factory")
@@ -269,6 +325,12 @@ def run_campaign(
                 "estimator_spec belongs to the batched engine; the packet "
                 "engine would silently ignore it"
             )
+        run_one = functools.partial(
+            run_placement_experiment,
+            testbed,
+            estimator_factory=estimator_factory,
+            config=config,
+        )
     else:
         if estimator_spec is None:
             raise ValueError("the batched engine needs an estimator_spec")
@@ -277,9 +339,15 @@ def run_campaign(
                 "estimator_factory belongs to the packet engine; the batched "
                 "engine would silently ignore it"
             )
-    config = config if config is not None else CampaignConfig()
-    result = CampaignResult()
+        run_one = functools.partial(
+            run_placement_experiment_batched,
+            testbed,
+            estimator_spec=estimator_spec,
+            config=config,
+            rounds_per_leader=rounds_per_leader,
+        )
     sample_rng = np.random.default_rng(config.seed)
+    work: list = []
     for n in config.group_sizes:
         if config.max_placements_per_n is None:
             placements: Sequence[Placement] = list(enumerate_placements(n))
@@ -287,21 +355,26 @@ def run_campaign(
             placements = sample_placements(
                 n, config.max_placements_per_n, sample_rng
             )
-        for placement in placements:
+        work.extend((n, placement) for placement in placements)
+    if max_workers is None or max_workers <= 1:
+        # Serial: fire progress just before each experiment, as before.
+        def run_with_progress(item):
+            n, placement = item
             if progress is not None:
                 progress(n, placement)
-            if engine == "packet":
-                record = run_placement_experiment(
-                    testbed, placement, estimator_factory, config
-                )
-            else:
-                record = run_placement_experiment_batched(
-                    testbed,
-                    placement,
-                    estimator_spec,
-                    config,
-                    rounds_per_leader=rounds_per_leader,
-                    probe_trials=probe_trials,
-                )
-            result.records.append(record)
-    return result
+            return run_one(placement)
+
+        records = shard_map(
+            run_with_progress, work, max_workers=max_workers, executor=executor
+        )
+    else:
+        if progress is not None:
+            for n, placement in work:
+                progress(n, placement)
+        records = shard_map(
+            run_one,
+            [placement for _, placement in work],
+            max_workers=max_workers,
+            executor=executor,
+        )
+    return CampaignResult(records=records)

@@ -33,6 +33,8 @@ __all__ = [
     "sinr_db",
     "ber_dbpsk",
     "per_from_sinr_db",
+    "per_from_sinr_db_array",
+    "expected_packet_loss",
     "sample_packet_loss",
 ]
 
@@ -112,6 +114,62 @@ def per_from_sinr_db(
     # log1p formulation stays accurate for tiny BER.
     log_success = packet_bits * math.log1p(-min(ber, 1.0 - 1e-15))
     return 1.0 - math.exp(log_success)
+
+
+def per_from_sinr_db_array(
+    sinr_values_db: np.ndarray, packet_bits: int, processing_gain: float = 11.0
+) -> np.ndarray:
+    """Vectorised :func:`per_from_sinr_db` over an array of SINRs."""
+    sinr_linear = 10.0 ** (np.asarray(sinr_values_db, dtype=float) / 10.0)
+    gamma = np.minimum(np.maximum(sinr_linear, 0.0) * processing_gain, 700.0)
+    ber = 0.5 * np.exp(-gamma)
+    log_success = packet_bits * np.log1p(-np.minimum(ber, 1.0 - 1e-15))
+    return -np.expm1(log_success)
+
+
+def expected_packet_loss(
+    mean_sinr_db,
+    packet_bits: int,
+    config: RadioConfig,
+    n_fading: int = 256,
+    n_shadowing: int = 15,
+) -> np.ndarray:
+    """Expectation of :func:`sample_packet_loss` by fixed quadrature.
+
+    Integrates the PER waterfall over per-packet Rayleigh fading
+    (inverse-CDF midpoint rule on the exponential power gain) and
+    log-normal shadowing (Gauss-Hermite), so per-link loss probabilities
+    come out analytically instead of by Monte-Carlo link probing.  For a
+    monotone integrand bounded by 1 the midpoint rule error is below
+    ``1/(2 n_fading)`` — far inside campaign Monte-Carlo noise.
+
+    Args:
+        mean_sinr_db: scalar or array of pre-fading mean SINRs.
+        packet_bits: bits per packet (PER exponent).
+        config: PHY parameters (fading/shadowing switches included).
+        n_fading: Rayleigh quadrature nodes (ignored when fading is off).
+        n_shadowing: Gauss-Hermite nodes (ignored when sigma is 0).
+
+    Returns:
+        Array of expected loss probabilities, shaped like the input.
+    """
+    offsets = np.zeros(1)
+    weights = np.ones(1)
+    if config.rayleigh_fading:
+        u = (np.arange(n_fading) + 0.5) / n_fading
+        gain = -np.log1p(-u)
+        offsets = 10.0 * np.log10(np.maximum(gain, 1e-12))
+        weights = np.full(n_fading, 1.0 / n_fading)
+    if config.shadowing_sigma_db > 0:
+        nodes, hermite_w = np.polynomial.hermite.hermgauss(n_shadowing)
+        shadow_db = math.sqrt(2.0) * config.shadowing_sigma_db * nodes
+        shadow_w = hermite_w / math.sqrt(math.pi)
+        offsets = (offsets[:, None] + shadow_db[None, :]).ravel()
+        weights = (weights[:, None] * shadow_w[None, :]).ravel()
+    sinr = np.asarray(mean_sinr_db, dtype=float)
+    faded = sinr[..., None] + offsets
+    per = per_from_sinr_db_array(faded, packet_bits, config.processing_gain)
+    return per @ weights
 
 
 def sample_packet_loss(

@@ -14,7 +14,9 @@ Design (see :mod:`repro.sim.engine` for the full derivation):
 * **One vectorised draw per loss model** — the whole ``(B, links, N)``
   reception tensor comes from a single sampling call (IID and matrix
   models are one comparison; Gilbert-Elliott chains iterate only the
-  packet axis).
+  packet axis; :class:`~repro.sim.spec.ScheduleLossSpec` tiles a
+  per-pattern loss table across the packet axis, carrying the
+  testbed's rotating-interference burstiness into the accounting).
 * **Subset-lattice accounting** — reception patterns become bitmasks,
   pattern counts become one ``bincount``, and a zeta transform yields
   every terminal-subset's support pool and Eve-miss count at once.
@@ -54,6 +56,7 @@ from repro.sim.campaign import (
     ScenarioOutcome,
     SimCampaignResult,
     run_sim_campaign,
+    shard_map,
 )
 from repro.sim.engine import BatchedRoundEngine, BatchResult, run_batch
 from repro.sim.reception import ReceptionBatch, sample_receptions
@@ -70,6 +73,7 @@ from repro.sim.spec import (
     MatrixLossSpec,
     OracleEstimatorSpec,
     Scenario,
+    ScheduleLossSpec,
 )
 
 __all__ = [
@@ -77,6 +81,7 @@ __all__ = [
     "LossSpec",
     "IIDLossSpec",
     "MatrixLossSpec",
+    "ScheduleLossSpec",
     "GilbertElliottLossSpec",
     "AdversarySpec",
     "EstimatorSpec",
@@ -93,6 +98,7 @@ __all__ = [
     "BatchResult",
     "run_batch",
     # campaigns
+    "shard_map",
     "ScenarioGrid",
     "ScenarioOutcome",
     "SimCampaignResult",

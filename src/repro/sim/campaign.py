@@ -16,7 +16,7 @@ of worker count and execution order.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -33,12 +33,46 @@ from repro.sim.spec import (
 )
 
 __all__ = [
+    "shard_map",
     "ScenarioGrid",
     "ScenarioOutcome",
     "SimCampaignResult",
     "CampaignRunner",
     "run_sim_campaign",
 ]
+
+
+def shard_map(
+    fn: Callable,
+    items: Sequence,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> list:
+    """Order-preserving map with optional thread/process sharding.
+
+    The shared sharding primitive of every campaign runner: work items
+    must be independent (each owning its private RNG stream), so the
+    result list is identical to ``[fn(x) for x in items]`` whatever the
+    worker count or executor — sharding changes wall-clock only.
+
+    Args:
+        fn: the per-item worker.  With ``executor="process"`` it must be
+            picklable (a module-level function or :func:`functools.partial`
+            over one), as must the items and results.
+        items: the work list; results come back in the same order.
+        max_workers: None or 1 runs serially in the caller's thread.
+        executor: ``"thread"`` (shared memory, fine for GIL-releasing
+            numpy/LP work) or ``"process"`` (sidesteps the GIL for pure
+            Python work, at pickling cost).
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    items = list(items)
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
 
 
 @dataclass(frozen=True)
@@ -194,12 +228,9 @@ class CampaignRunner:
             )
             return ScenarioOutcome(scenario=scenario, result=engine.run())
 
-        workers = self.max_workers
-        if workers is not None and workers > 1 and len(cells) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_cell, range(len(cells))))
-        else:
-            outcomes = [run_cell(i) for i in range(len(cells))]
+        outcomes = shard_map(
+            run_cell, range(len(cells)), max_workers=self.max_workers
+        )
         return SimCampaignResult(outcomes=outcomes)
 
 

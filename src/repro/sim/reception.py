@@ -5,7 +5,8 @@ antenna) from inside nested Python loops; for campaign-scale statistics
 that is the dominant cost.  Here the entire reception tensor of a batch
 — every round, every link, every x-packet — is drawn in one vectorised
 call per loss model (two for bursty chains, which keep a Markov state
-per link and therefore iterate only the packet axis).
+per link and therefore iterate only the packet axis; schedule-driven
+specs tile their pattern table across the packet axis instead).
 
 Link order convention: receiver links first (terminal order), then the
 adversary's antennas.  Eve's over-the-air reception is the union across

@@ -25,6 +25,7 @@ __all__ = [
     "LossSpec",
     "IIDLossSpec",
     "MatrixLossSpec",
+    "ScheduleLossSpec",
     "GilbertElliottLossSpec",
     "AdversarySpec",
     "EstimatorSpec",
@@ -122,6 +123,104 @@ class MatrixLossSpec(LossSpec):
                 f"planning needs at least {n_links}"
             )
         return float(np.mean(np.asarray(self.probabilities[:n_links], dtype=float)))
+
+
+@dataclass(frozen=True)
+class ScheduleLossSpec(LossSpec):
+    """Slot-aware loss under a rotating interference schedule.
+
+    The testbed's artificial interference cycles through noise patterns,
+    each held for ``slots_per_pattern`` transmission slots; a link's loss
+    probability depends on which pattern is up when the packet airs.
+    This spec carries the full per-pattern per-link table and samples it
+    by tiling the pattern axis across the packet axis — packet ``k`` of
+    a round airs in slot ``phase + k`` (x-packets go out back-to-back in
+    the per-packet engine, so consecutive packets share a dwell), which
+    is exactly the slot-level burstiness the pattern-averaged
+    :class:`MatrixLossSpec` bridge erased.
+
+    Attributes:
+        pattern_probabilities: nested tuple, shape ``(n_patterns,
+            n_links)`` — loss probability of each link while each
+            pattern is active.  Link order follows the engine
+            convention: receiver links first, then Eve's antenna.
+        slots_per_pattern: transmission slots per pattern dwell.
+        random_phase: when True (default), each round starts at an
+            independent uniformly-random point of the schedule period,
+            making rounds exchangeable and the per-link marginal exactly
+            the pattern-mean; False pins every round to phase 0
+            (deterministic tiling, used by unit tests).
+    """
+
+    pattern_probabilities: tuple
+    slots_per_pattern: int = 1
+    random_phase: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slots_per_pattern < 1:
+            raise ValueError("slots_per_pattern must be at least 1")
+        if not self.pattern_probabilities:
+            raise ValueError("need at least one pattern")
+        width = len(self.pattern_probabilities[0])
+        for row in self.pattern_probabilities:
+            if len(row) != width:
+                raise ValueError("pattern rows must list the same links")
+            for value in row:
+                _check_probability("pattern loss probability", value)
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.pattern_probabilities)
+
+    def table(self) -> np.ndarray:
+        """The ``(n_patterns, n_links)`` probability table as an array."""
+        return np.asarray(self.pattern_probabilities, dtype=float)
+
+    def _checked_table(self, n_links: int) -> np.ndarray:
+        table = self.table()
+        # Exact match required, like MatrixLossSpec: the last column is
+        # Eve's antenna, so slicing a wider table would silently hand
+        # Eve a receiver's probabilities.
+        if table.shape[1] != n_links:
+            raise ValueError(
+                f"spec lists {table.shape[1]} links per pattern, "
+                f"scenario needs exactly {n_links}"
+            )
+        return table
+
+    def sample_losses(self, rounds, n_links, n_packets, rng) -> np.ndarray:
+        table = self._checked_table(n_links)
+        n_patterns = table.shape[0]
+        period = n_patterns * self.slots_per_pattern
+        if self.random_phase:
+            phase = rng.integers(0, period, size=rounds)
+        else:
+            phase = np.zeros(rounds, dtype=np.int64)
+        slots = phase[:, None] + np.arange(n_packets)[None, :]
+        pattern_idx = (slots // self.slots_per_pattern) % n_patterns
+        # (rounds, n_packets, n_links) -> engine's (rounds, links, packets).
+        # All links share a slot's pattern: jamming hits simultaneously.
+        p = np.moveaxis(table[pattern_idx], 2, 1)
+        return rng.random((rounds, n_links, n_packets)) < p
+
+    def link_loss_probabilities(self, n_links: int) -> np.ndarray:
+        """Pattern-mean marginal per link (exact under ``random_phase``)."""
+        return self._checked_table(n_links).mean(axis=0)
+
+    def planning_loss(self, n_links: int) -> float:
+        """Pattern-mean over the first ``n_links`` (receiver) columns.
+
+        Like :meth:`MatrixLossSpec.planning_loss`: the allocation LP
+        plans on the terminals' channel quality only, so Eve's trailing
+        column must not bias it.
+        """
+        table = self.table()
+        if table.shape[1] < n_links:
+            raise ValueError(
+                f"spec lists {table.shape[1]} links per pattern, "
+                f"planning needs at least {n_links}"
+            )
+        return float(table[:, :n_links].mean())
 
 
 @dataclass(frozen=True)

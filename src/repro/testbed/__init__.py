@@ -12,7 +12,12 @@ diagonal is the paper's 1.75 m minimum distance), with:
   (:mod:`repro.testbed.interference`),
 * an 802.11g-like PHY at 1 Mbps (:mod:`repro.net.radio`) wired into a
   :class:`~repro.net.medium.BroadcastMedium` by
-  :mod:`repro.testbed.deployment`.
+  :mod:`repro.testbed.deployment`,
+* an analytic slot-aware bridge to the batched engine
+  (:mod:`repro.testbed.pertable`): per-(pattern, tx, rx) mean-SINR
+  tables with the Rayleigh-faded PER integrated by fixed quadrature,
+  feeding :class:`~repro.sim.spec.ScheduleLossSpec` — no Monte-Carlo
+  link probing, and the rotating schedule's burstiness survives.
 """
 
 from repro.testbed.deployment import PhysicalLossModel, Testbed, TestbedConfig
@@ -26,6 +31,11 @@ from repro.testbed.interference import (
 from repro.testbed.estimator import (
     InterferenceAwareEstimator,
     calibrate_min_jam_loss,
+)
+from repro.testbed.pertable import (
+    pattern_mean_sinr_db,
+    placement_schedule_specs,
+    schedule_loss_table,
 )
 from repro.testbed.placements import (
     Placement,
@@ -45,6 +55,9 @@ __all__ = [
     "PhysicalLossModel",
     "InterferenceAwareEstimator",
     "calibrate_min_jam_loss",
+    "pattern_mean_sinr_db",
+    "schedule_loss_table",
+    "placement_schedule_specs",
     "Placement",
     "enumerate_placements",
     "sample_placements",

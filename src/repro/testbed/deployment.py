@@ -119,6 +119,21 @@ class Testbed:
             y += float(rng.uniform(-jitter, jitter))
         return (x, y)
 
+    def node_positions(self, placement: Placement, rng: np.random.Generator) -> tuple:
+        """Jittered node coordinates for a placement.
+
+        Returns ``(terminal_positions, eve_position)`` drawing the same
+        jitter stream :meth:`build_medium` would (terminals in placement
+        order, then Eve), so the analytic slot-aware bridge
+        (:mod:`repro.testbed.pertable`) and a per-packet medium built
+        from the same generator state see identical geometry.
+        """
+        terminal_positions = [
+            self._place(cell, rng) for cell in placement.terminal_cells
+        ]
+        eve_position = self._place(placement.eve_cell, rng)
+        return terminal_positions, eve_position
+
     def build_medium(
         self,
         placement: Placement,
@@ -142,13 +157,14 @@ class Testbed:
         for cell in eve_extra_cells:
             if cell in placement.terminal_cells:
                 raise ValueError("Eve's extra antennas cannot share terminal cells")
+        terminal_positions, eve_position = self.node_positions(placement, rng)
         terminals = [
-            Terminal(name=f"T{i}", position=self._place(cell, rng))
-            for i, cell in enumerate(placement.terminal_cells)
+            Terminal(name=f"T{i}", position=pos)
+            for i, pos in enumerate(terminal_positions)
         ]
         eve = Eavesdropper(
             name="eve",
-            position=self._place(placement.eve_cell, rng),
+            position=eve_position,
             extra_antennas=[self._place(c, rng) for c in eve_extra_cells],
         )
         loss_model = PhysicalLossModel(self.config, self.interference)

@@ -75,6 +75,17 @@ class InterferenceAwareEstimator(EveErasureEstimator):
             else geometry.all_cells()
         )
         self.discount = discount
+        # Pattern -> jammed-cell table, precomputed once: the schedule
+        # is static, so a budget query only needs each queried slot's
+        # pattern index and a bincount instead of rebuilding a jammed
+        # set per (candidate cell, x-id) pair.
+        self._jam_table = np.zeros(
+            (len(field.patterns), geometry.n_cells), dtype=float
+        )
+        for k in range(len(field.patterns)):
+            cells = field.jammed_cells_for_pattern(geometry, k)
+            self._jam_table[k, sorted(cells)] = 1.0
+        self._candidate_index = np.asarray(self.candidate_cells, dtype=np.intp)
 
     def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
         ctx = self.context
@@ -83,18 +94,21 @@ class InterferenceAwareEstimator(EveErasureEstimator):
         p = self.min_jam_loss
         if p <= 0.0 or not self.candidate_cells:
             return 0.0
-        worst = None
-        for cell in self.candidate_cells:
-            jammed = 0
-            for xid in ids:
-                slot = ctx.x_slots.get(xid)
-                if slot is None:
-                    continue
-                if cell in self.field.jammed_cells(self.geometry, slot):
-                    jammed += 1
-            bound = p * self.discount * jammed
-            worst = bound if worst is None else min(worst, bound)
-        return max(worst or 0.0, 0.0)
+        field = self.field
+        n_patterns = len(field.patterns)
+        if not field.enabled or n_patterns == 0:
+            return 0.0
+        dwell = max(field.slots_per_pattern, 1)
+        pattern_ids = [
+            (slot // dwell) % n_patterns
+            for slot in (ctx.x_slots.get(xid) for xid in ids)
+            if slot is not None
+        ]
+        if not pattern_ids:
+            return 0.0
+        hits = np.bincount(pattern_ids, minlength=n_patterns)
+        jammed = hits @ self._jam_table[:, self._candidate_index]
+        return max(p * self.discount * float(jammed.min()), 0.0)
 
 
 def calibrate_min_jam_loss(
@@ -116,12 +130,12 @@ def calibrate_min_jam_loss(
 
     geometry = testbed.config.geometry
     field = testbed.interference
-    cfg = testbed.config
     packet = Packet(
         kind=PacketKind.X_DATA,
         src="probe",
         payload=np.zeros(payload_bytes, dtype=np.uint8),
     )
+    loss_model = testbed_loss_model(testbed)
     worst: Optional[float] = None
     for rx_cell in geometry.all_cells():
         rx_pos = geometry.cell_center(rx_cell)
@@ -134,7 +148,6 @@ def calibrate_min_jam_loss(
                 if tx_cell == rx_cell:
                     continue
                 src = Terminal(name="tx", position=geometry.cell_center(tx_cell))
-                loss_model = testbed_loss_model(testbed)
                 losses = sum(
                     1
                     for _ in range(trials)

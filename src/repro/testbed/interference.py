@@ -118,14 +118,25 @@ class InterferenceField:
             for i in pattern.antenna_ids
         ]
 
-    def jammed_cells(self, geometry: TestbedGeometry, slot: int) -> set:
-        """Cells inside the active row/column beams (diagnostics)."""
-        if not self.enabled or not self.patterns:
-            return set()
-        pattern = self.pattern_at(slot)
+    def jammed_cells_for_pattern(self, geometry: TestbedGeometry, index: int) -> set:
+        """Cells inside pattern ``index``'s row/column beams.
+
+        Pure schedule geometry (ignores ``enabled``): the single source
+        of truth for beam coverage, shared by the live :meth:`jammed_cells`
+        query and precomputed tables like the interference-aware
+        estimator's pattern-to-jammed-cell matrix.
+        """
+        pattern = self.patterns[index]
         return set(geometry.cells_in_row(pattern.row)) | set(
             geometry.cells_in_col(pattern.col)
         )
+
+    def jammed_cells(self, geometry: TestbedGeometry, slot: int) -> set:
+        """Cells inside the beams active at ``slot`` (diagnostics)."""
+        if not self.enabled or not self.patterns:
+            return set()
+        index = (slot // max(self.slots_per_pattern, 1)) % len(self.patterns)
+        return self.jammed_cells_for_pattern(geometry, index)
 
     def n_patterns(self) -> int:
         return len(self.patterns)

@@ -1,0 +1,123 @@
+"""ScheduleLossSpec: slot-aware sampling, marginals, burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ScheduleLossSpec
+
+#: Two patterns, two links: link 0 jammed in pattern 0, link 1 in pattern 1.
+ALTERNATING = ScheduleLossSpec(
+    pattern_probabilities=((1.0, 0.0), (0.0, 1.0)),
+    slots_per_pattern=5,
+    random_phase=False,
+)
+
+
+class TestValidation:
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError, match="at least one pattern"):
+            ScheduleLossSpec(pattern_probabilities=())
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="same links"):
+            ScheduleLossSpec(pattern_probabilities=((0.1, 0.2), (0.3,)))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="pattern loss probability"):
+            ScheduleLossSpec(pattern_probabilities=((0.1, 1.2),))
+
+    def test_rejects_bad_dwell(self):
+        with pytest.raises(ValueError, match="slots_per_pattern"):
+            ScheduleLossSpec(
+                pattern_probabilities=((0.1,),), slots_per_pattern=0
+            )
+
+    def test_link_count_must_match_exactly(self):
+        # Like MatrixLossSpec: slicing a wider table would hand Eve a
+        # receiver's probabilities.
+        with pytest.raises(ValueError, match="exactly"):
+            ALTERNATING.sample_losses(2, 3, 10, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="exactly"):
+            ALTERNATING.link_loss_probabilities(1)
+
+
+class TestDeterministicTiling:
+    def test_phase_zero_tiles_patterns_across_packets(self):
+        # 10 packets, dwell 5, two deterministic patterns: the first
+        # dwell loses everything on link 0, the second on link 1.
+        lost = ALTERNATING.sample_losses(3, 2, 10, np.random.default_rng(0))
+        assert lost.shape == (3, 2, 10)
+        assert np.all(lost[:, 0, :5]) and not np.any(lost[:, 0, 5:])
+        assert np.all(lost[:, 1, 5:]) and not np.any(lost[:, 1, :5])
+
+    def test_schedule_wraps_around_the_period(self):
+        lost = ALTERNATING.sample_losses(2, 2, 20, np.random.default_rng(0))
+        # Period is 10 slots: packets 10-14 replay pattern 0.
+        assert np.all(lost[:, 0, 10:15]) and not np.any(lost[:, 0, 15:20])
+
+    def test_all_links_share_a_slots_pattern(self):
+        # Jamming is simultaneous across links: wherever link 0 is in
+        # its jammed dwell, link 1 must be in its clear one.
+        lost = ALTERNATING.sample_losses(5, 2, 10, np.random.default_rng(1))
+        assert not np.any(lost[:, 0, :] & lost[:, 1, :])
+
+
+class TestMarginals:
+    SPEC = ScheduleLossSpec(
+        pattern_probabilities=((0.9, 0.1, 0.5), (0.2, 0.6, 0.5), (0.1, 0.2, 0.5)),
+        slots_per_pattern=4,
+    )
+
+    def test_marginal_is_pattern_mean(self):
+        assert np.allclose(
+            self.SPEC.link_loss_probabilities(3), [0.4, 0.3, 0.5]
+        )
+
+    def test_sampled_marginals_match_link_loss_probabilities(self):
+        # random_phase makes every packet position uniform over the
+        # schedule, so empirical marginals converge to the pattern mean
+        # for any packet count (not just multiples of the period).
+        lost = self.SPEC.sample_losses(6000, 3, 17, np.random.default_rng(7))
+        empirical = lost.mean(axis=(0, 2))
+        assert np.allclose(
+            empirical, self.SPEC.link_loss_probabilities(3), atol=0.02
+        )
+
+    def test_planning_loss_excludes_eve_column(self):
+        # Planning over the first 2 (receiver) links only: Eve's 0.5
+        # column must not bias the LP's symmetric erasure probability.
+        assert self.SPEC.planning_loss(2) == pytest.approx(0.35)
+
+    def test_planning_loss_rejects_too_few_links(self):
+        with pytest.raises(ValueError, match="planning"):
+            self.SPEC.planning_loss(4)
+
+
+class TestBurstiness:
+    def test_dwell_correlation_exceeds_iid(self):
+        """The point of the spec: when a round is shorter than the
+        schedule period, its loss count depends on which dwell it lands
+        in, spreading per-round counts far wider than an IID draw at the
+        same marginal — the burstiness the pattern-averaged bridge
+        erased.  (A round covering the whole period would see every
+        pattern its exact share of slots instead.)"""
+        bursty = ScheduleLossSpec(
+            pattern_probabilities=((0.95,), (0.05,)), slots_per_pattern=10
+        )
+        rng = np.random.default_rng(5)
+        lost = bursty.sample_losses(4000, 1, 10, rng)
+        per_round = lost.sum(axis=(1, 2))
+        marginal = float(bursty.link_loss_probabilities(1)[0])
+        iid_var = 10 * marginal * (1 - marginal)
+        assert per_round.mean() == pytest.approx(10 * marginal, rel=0.05)
+        assert per_round.var() > 3 * iid_var
+
+    def test_random_phase_draws_differ_between_rounds(self):
+        bursty = ScheduleLossSpec(
+            pattern_probabilities=((1.0,), (0.0,)), slots_per_pattern=10
+        )
+        lost = bursty.sample_losses(64, 1, 10, np.random.default_rng(3))
+        # With a uniformly random phase the all-lost/all-clear split
+        # position varies across rounds.
+        patterns = {tuple(row) for row in lost[:, 0, :]}
+        assert len(patterns) > 4
