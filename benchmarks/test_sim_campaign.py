@@ -36,9 +36,9 @@ from repro.sim import (
 
 N_PACKETS = 100
 Z_COST = 2.0
-ROUNDS_PER_CELL = 25
+ROUNDS_PER_CELL = 40
 
-#: The multi-scenario campaign: 4 cells x 25 rounds = 100 rounds.
+#: The multi-scenario campaign: 4 cells x 40 rounds = 160 rounds.
 CELLS = [
     Scenario(
         n_terminals=n,
@@ -140,16 +140,27 @@ def test_figure2_statistics_within_tolerance(comparison):
             assert batched_summary.mean == pytest.approx(
                 packet_summary.mean, abs=0.08
             )
+            # The reliability distribution is a spike at 1.0 plus a
+            # tail, so a 40-sample median is noisy when P(rel < 1) sits
+            # near 0.5 (it does for n = 5 leave-one-out); hence the
+            # wider band than the mean's.
             assert batched_summary.median == pytest.approx(
-                packet_summary.median, abs=0.08
+                packet_summary.median, abs=0.15
+            )
+            # The realised integral planner must not be optimistic: the
+            # batched engine may sit below the per-packet oracle, never
+            # meaningfully above it (the old fractional clamp reported
+            # ~+0.09 here).
+            assert (
+                batched_summary.mean <= packet_summary.mean + 0.05
             )
     emit("Figure 2 cross-validation (packet vs batched)", "\n".join(lines))
 
 
 def test_efficiency_within_tolerance(comparison):
-    """Secret rates: the batched planner is fractional (no integrality
-    or flow-assignment loss), so it brackets the session from above at
-    larger n; 0.10 absolute is the observed Monte-Carlo band."""
+    """Secret rates: the realised planner pays the same integrality and
+    flow-assignment costs the session does, so the engines sit in one
+    Monte-Carlo band (0.10 absolute covers both samples' spread)."""
     packet, batched, _, _ = comparison
     for cell, outcome in zip(CELLS, batched.outcomes):
         packet_effs, _ = packet[id(cell)]

@@ -124,6 +124,17 @@ def main():
         default="thread",
         help="worker pool kind (process sidesteps the GIL for --engine packet)",
     )
+    parser.add_argument(
+        "--eve-cells",
+        type=int,
+        nargs="*",
+        default=(),
+        metavar="CELL",
+        help="extra antenna cells for a multi-antenna Eve (grid cells "
+        "0-8); placements whose terminals occupy one of them are "
+        "skipped, and both engines model Eve as capturing a packet "
+        "when any antenna does",
+    )
     args = parser.parse_args()
     engines = ("batched", "packet") if args.engine == "both" else (args.engine,)
 
@@ -142,10 +153,15 @@ def main():
         seed=2012,
         max_placements_per_n=18,
         group_sizes=(3, 4, 5, 6, 7, 8),
+        eve_extra_cells=tuple(args.eve_cells),
     )
+    if args.eve_cells:
+        print(f"multi-antenna Eve: extra cells {tuple(args.eve_cells)}", flush=True)
 
     for engine in engines:
         suffix = "" if engine == "packet" else f"_{engine}"
+        if args.eve_cells:
+            suffix += "_eve" + "-".join(str(c) for c in args.eve_cells)
         for label, kwargs in engine_variants(engine, pmin):
             t1 = time.time()
             result = run_campaign(

@@ -43,7 +43,12 @@ from repro.core.rotation import ExperimentResult, run_experiment
 from repro.core.session import SessionConfig
 from repro.sim.campaign import shard_map
 from repro.sim.engine import BatchedRoundEngine
-from repro.sim.spec import EstimatorSpec, MatrixLossSpec, Scenario
+from repro.sim.spec import (
+    AdversarySpec,
+    EstimatorSpec,
+    MatrixLossSpec,
+    Scenario,
+)
 from repro.testbed.deployment import Testbed
 from repro.testbed.pertable import placement_schedule_specs
 from repro.testbed.placements import (
@@ -78,12 +83,19 @@ class CampaignConfig:
             runs the full 9*C(8,n) enumeration like the paper; smaller
             values sample uniformly for quick runs).
         group_sizes: the n values to sweep (paper: 3..8).
+        eve_extra_cells: additional antenna cells for a multi-antenna
+            Eve (the paper's §6 threat model); both engines model her
+            as capturing a packet when *any* antenna does.  Placements
+            whose terminals occupy one of these cells are skipped —
+            every node keeps the one-cell-diagonal minimum distance —
+            so sweeps stay comparable across engines.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
     seed: int = 2012
     max_placements_per_n: Optional[int] = None
     group_sizes: tuple = (3, 4, 5, 6, 7, 8)
+    eve_extra_cells: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -156,7 +168,9 @@ def run_placement_experiment(
     rng = np.random.default_rng(
         _experiment_seed_sequence(config.seed, placement, placement.n_terminals)
     )
-    medium, names = testbed.build_medium(placement, rng)
+    medium, names = testbed.build_medium(
+        placement, rng, eve_extra_cells=config.eve_extra_cells
+    )
     estimator = estimator_factory(testbed, placement)
     result: ExperimentResult = run_experiment(
         medium, names, estimator, rng, config=config.session
@@ -237,8 +251,13 @@ def run_placement_experiment_batched(
     )
     session = config.session
     specs = placement_schedule_specs(
-        testbed, placement, rng, payload_bytes=session.payload_bytes
+        testbed,
+        placement,
+        rng,
+        payload_bytes=session.payload_bytes,
+        eve_extra_cells=config.eve_extra_cells,
     )
+    adversary = AdversarySpec(antennas=1 + len(config.eve_extra_cells))
     total_secret = 0.0
     total_hidden = 0.0
     total_secret_bits = 0
@@ -247,6 +266,7 @@ def run_placement_experiment_batched(
         scenario = Scenario(
             n_terminals=placement.n_terminals,
             loss=loss_spec,
+            adversary=adversary,
             estimator=estimator_spec,
             n_x_packets=session.n_x_packets,
             rounds=rounds_per_leader,
@@ -347,6 +367,7 @@ def run_campaign(
             rounds_per_leader=rounds_per_leader,
         )
     sample_rng = np.random.default_rng(config.seed)
+    blocked = set(config.eve_extra_cells)
     work: list = []
     for n in config.group_sizes:
         if config.max_placements_per_n is None:
@@ -355,7 +376,18 @@ def run_campaign(
             placements = sample_placements(
                 n, config.max_placements_per_n, sample_rng
             )
-        work.extend((n, placement) for placement in placements)
+        work.extend(
+            (n, placement)
+            for placement in placements
+            if blocked.isdisjoint(placement.terminal_cells)
+        )
+
+    def placement_label(placement: Placement) -> str:
+        return (
+            f"placement(n={placement.n_terminals}, "
+            f"eve={placement.eve_cell}, cells={placement.terminal_cells})"
+        )
+
     if max_workers is None or max_workers <= 1:
         # Serial: fire progress just before each experiment, as before.
         def run_with_progress(item):
@@ -365,7 +397,11 @@ def run_campaign(
             return run_one(placement)
 
         records = shard_map(
-            run_with_progress, work, max_workers=max_workers, executor=executor
+            run_with_progress,
+            work,
+            max_workers=max_workers,
+            executor=executor,
+            label=lambda item: placement_label(item[1]),
         )
     else:
         if progress is not None:
@@ -376,5 +412,6 @@ def run_campaign(
             [placement for _, placement in work],
             max_workers=max_workers,
             executor=executor,
+            label=placement_label,
         )
     return CampaignResult(records=records)

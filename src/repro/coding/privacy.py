@@ -39,6 +39,7 @@ Construction summary (see DESIGN.md §4 for the argument):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -60,6 +61,7 @@ __all__ = [
     "GroupCodingPlan",
     "plan_y_allocation",
     "build_phase2_matrices",
+    "solve_transport_counts",
     "MAX_BLOCK_POINTS",
     "MAX_PHASE2_ROWS",
 ]
@@ -547,50 +549,145 @@ def plan_y_allocation(
     return YAllocation(blocks=blocks, receivers=receivers)
 
 
+def solve_transport_counts(
+    demands: Sequence[int],
+    capacities: Sequence[int],
+    allowed: Sequence[Sequence[bool]],
+) -> np.ndarray:
+    """Integral transportation max-flow on counts (no ids involved).
+
+    Bipartite flow: demand node ``j`` wants up to ``demands[j]`` units,
+    supply node ``k`` holds ``capacities[k]`` units, and an edge exists
+    where ``allowed[j][k]`` is true.  Returns the ``(J, K)`` integer
+    flow matrix of a maximum flow.
+
+    This is the shared max-flow core of the protocol's support
+    assignment: :func:`_assign_ids_by_flow` routes concrete x-ids
+    through it for the per-packet session, and the batched engine's
+    per-round realised planner
+    (:func:`repro.theory.allocation.realised_support_flow`) runs it
+    directly on reception-pattern histograms — thousands of times per
+    campaign, which is why this is a dependency-free Dinic rather than
+    a general graph library call (the realised planner's solve count
+    made ``networkx`` graph construction the dominant campaign cost).
+
+    Determinism matters as much as speed: node and edge order are
+    fixed by the input order alone (no hashing of arbitrary keys), so
+    the same inputs always yield the same — not merely equally optimal
+    — flow matrix, keeping campaigns reproducible across processes.
+    """
+    n_demands = len(demands)
+    n_supplies = len(capacities)
+    out = np.zeros((n_demands, n_supplies), dtype=np.int64)
+    if n_demands == 0 or n_supplies == 0:
+        return out
+
+    # Dinic on the 4-layer graph: source 0, demand nodes 1..J,
+    # supply nodes J+1..J+K, sink J+K+1.  Edges are stored as parallel
+    # arrays with paired reverse edges (edge i ^ 1 is the reverse).
+    n_nodes = n_demands + n_supplies + 2
+    source = 0
+    sink = n_nodes - 1
+    edge_to: list = []
+    edge_cap: list = []
+    adjacency: list = [[] for _ in range(n_nodes)]
+
+    def add_edge(u: int, v: int, capacity: int) -> None:
+        adjacency[u].append(len(edge_to))
+        edge_to.append(v)
+        edge_cap.append(capacity)
+        adjacency[v].append(len(edge_to))
+        edge_to.append(u)
+        edge_cap.append(0)
+
+    demand_edges = []
+    for j in range(n_demands):
+        add_edge(source, 1 + j, int(demands[j]))
+    for k in range(n_supplies):
+        add_edge(1 + n_demands + k, sink, int(capacities[k]))
+    for j in range(n_demands):
+        row = allowed[j]
+        for k in range(n_supplies):
+            if row[k]:
+                demand_edges.append((j, k, len(edge_to)))
+                add_edge(1 + j, 1 + n_demands + k, int(demands[j]))
+
+    level = [0] * n_nodes
+    iter_idx = [0] * n_nodes
+
+    while True:
+        # BFS: layered residual distances from the source.
+        for i in range(n_nodes):
+            level[i] = -1
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for e in adjacency[u]:
+                v = edge_to[e]
+                if edge_cap[e] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        if level[sink] < 0:
+            break
+        for i in range(n_nodes):
+            iter_idx[i] = 0
+
+        # DFS blocking flow (recursion depth <= 4: the graph is layered
+        # source -> demand -> supply -> sink); deterministic arc order.
+        def augment(u: int, pushed: int) -> int:
+            if u == sink:
+                return pushed
+            edges = adjacency[u]
+            while iter_idx[u] < len(edges):
+                e = edges[iter_idx[u]]
+                v = edge_to[e]
+                if edge_cap[e] > 0 and level[v] == level[u] + 1:
+                    got = augment(v, min(pushed, edge_cap[e]))
+                    if got > 0:
+                        edge_cap[e] -= got
+                        edge_cap[e ^ 1] += got
+                        return got
+                iter_idx[u] += 1
+            return 0
+
+        while augment(source, 1 << 60) > 0:
+            pass
+
+    for j, k, e in demand_edges:
+        flow = edge_cap[e ^ 1]  # reverse capacity equals pushed flow
+        if flow > 0:
+            out[j, k] = flow
+    return out
+
+
 def _assign_ids_by_flow(cells: Mapping, id_demand: Mapping) -> dict:
     """Assign x-ids to subsets via integral max-flow.
 
-    Bipartite transportation: subset ``T`` demands ``id_demand[T]`` ids;
-    cell ``P`` supplies ``|C_P|`` ids to any ``T <= P``.  The returned
-    supports are disjoint (each id funds one block) and time-scattered
-    within each cell (see :func:`_scatter_order`).
-
-    Graph nodes are plain integers, not subset/cell keys: the max-flow
-    solver keeps worklists in Python sets, and set iteration order for
-    nodes containing *strings* (terminal names) varies with
-    PYTHONHASHSEED — which used to pick a different (equally optimal)
-    integral flow per process and made whole campaigns irreproducible.
-    Integer hashes are unsalted, so this routing is deterministic.
+    Bipartite transportation (see :func:`solve_transport_counts`):
+    subset ``T`` demands ``id_demand[T]`` ids; cell ``P`` supplies
+    ``|C_P|`` ids to any ``T <= P``.  The returned supports are
+    disjoint (each id funds one block) and time-scattered within each
+    cell (see :func:`_scatter_order`).
     """
-    import networkx as nx
-
     if not id_demand:
         return {}
     subsets = sorted(id_demand, key=lambda s: (len(s), sorted(s)))
     cell_list = list(cells)
-    source = -1
-    sink = -2
-    cell_base = len(subsets)
-    graph = nx.DiGraph()
-    for j, T in enumerate(subsets):
-        graph.add_edge(source, j, capacity=int(id_demand[T]))
-    for k, P in enumerate(cell_list):
-        graph.add_edge(cell_base + k, sink, capacity=len(cells[P]))
-        for j, T in enumerate(subsets):
-            if T <= P:
-                graph.add_edge(j, cell_base + k, capacity=int(id_demand[T]))
-    if not any(True for _ in graph.successors(source)):
-        return {}
-    _, flow = nx.maximum_flow(graph, source, sink)
+    flow = solve_transport_counts(
+        demands=[int(id_demand[T]) for T in subsets],
+        capacities=[len(cells[P]) for P in cell_list],
+        allowed=[[T <= P for P in cell_list] for T in subsets],
+    )
     scattered = {P: _scatter_order(ids) for P, ids in cells.items()}
     cursor = {P: 0 for P in cells}
     assignment: dict = {}
     for j, T in enumerate(subsets):
         take: list = []
-        for node, amount in flow.get(j, {}).items():
-            if node < cell_base or amount <= 0:
+        for k, P in enumerate(cell_list):
+            amount = int(flow[j, k])
+            if amount <= 0:
                 continue
-            P = cell_list[node - cell_base]
             start = cursor[P]
             take.extend(scattered[P][start : start + amount])
             cursor[P] = start + amount

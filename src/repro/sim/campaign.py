@@ -34,6 +34,7 @@ from repro.sim.spec import (
 
 __all__ = [
     "shard_map",
+    "ShardWorkerError",
     "ScenarioGrid",
     "ScenarioOutcome",
     "SimCampaignResult",
@@ -42,11 +43,23 @@ __all__ = [
 ]
 
 
+class ShardWorkerError(RuntimeError):
+    """A sharded worker failed; the message names the failing item.
+
+    Raised by :func:`shard_map`'s pooled paths so a campaign abort says
+    *which* placement or scenario died — a process-pool worker's
+    exception otherwise surfaces as a bare pickled traceback with no
+    clue about the cell that produced it.  The original exception is
+    chained as ``__cause__``.
+    """
+
+
 def shard_map(
     fn: Callable,
     items: Sequence,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    label: Optional[Callable] = None,
 ) -> list:
     """Order-preserving map with optional thread/process sharding.
 
@@ -60,10 +73,16 @@ def shard_map(
             picklable (a module-level function or :func:`functools.partial`
             over one), as must the items and results.
         items: the work list; results come back in the same order.
-        max_workers: None or 1 runs serially in the caller's thread.
+        max_workers: None or 1 runs serially in the caller's thread
+            (exceptions propagate raw, exactly like a list
+            comprehension).
         executor: ``"thread"`` (shared memory, fine for GIL-releasing
             numpy/LP work) or ``"process"`` (sidesteps the GIL for pure
             Python work, at pickling cost).
+        label: optional ``item -> str`` naming items in error messages;
+            pooled-path worker failures raise :class:`ShardWorkerError`
+            carrying that name (campaign runners pass the placement's
+            scenario key), with the worker's exception as the cause.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}")
@@ -72,7 +91,20 @@ def shard_map(
         return [fn(item) for item in items]
     pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     with pool_cls(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        for item, future in zip(items, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                for pending in futures:
+                    pending.cancel()
+                name = label(item) if label is not None else repr(item)
+                raise ShardWorkerError(
+                    f"shard_map worker failed on {name}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        return results
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,9 @@ for B independent rounds simultaneously:
 
 1. **Receptions** — the whole ``(B, links, N)`` loss tensor is drawn in
    one vectorised call per loss model (:mod:`repro.sim.reception`).
+   Eve's reception is the union across her antennas (multi-antenna
+   adversaries included) *before* any accounting happens, exactly like
+   :meth:`repro.net.medium.LossModel.lost`.
 2. **Pattern histogram** — each packet's reception pattern (the subset
    of receivers that captured it) is encoded as a bitmask and the per
    round pattern counts are built with one ``bincount``.
@@ -15,28 +18,48 @@ for B independent rounds simultaneously:
    turns pattern counts into ``pools[b, T]`` = packets received by all
    of ``T``, and the same transform over Eve-missed packets yields the
    oracle budgets, all as ``(B, 2^r)`` arrays.
-4. **Allocation reuse** — the symmetric allocation LP is solved once
-   per scenario (memoized in :mod:`repro.theory.efficiency`) and its
-   per-level row targets are clamped against each round's realised
-   pools and estimator budgets; no per-round LP, flow, or GF algebra.
-5. **Accounting** — per-round ``M_i``, ``L = min_i M_i``, z-overhead,
-   the Figure-1 efficiency ``L / (N + z)`` and the reliability of the
-   resulting secret (estimator over-promises convert into rank deficit
-   exactly as in :mod:`repro.core.eve`, block by disjoint block).
+4. **Planning** — the symmetric allocation LP is solved once per
+   scenario (memoized in :mod:`repro.theory.efficiency`); its
+   per-level row targets, clamped by each round's certified budgets,
+   set the *demand* side of the realised assignment.
+5. **Realised assignment** — each round's demand is realised by an
+   *integral* transportation max-flow on the round's observed pattern
+   histogram (:func:`repro.theory.allocation.realised_support_flow`,
+   memoized by observed-pattern key, sharing the flow core of
+   :func:`repro.coding.privacy.solve_transport_counts` with the
+   per-packet session).  Supports are disjoint, rows are whole
+   numbers, and shortfalls land exactly where the session's flow
+   assignment would put them — no fractional-LP optimism at small N.
+6. **Accounting** — Eve's misses *inside each realised support* are
+   drawn from the exact multivariate hypergeometric law of the cell
+   composition; per-round ``M_i``, ``L = min_i M_i`` (after the
+   session-mirroring excess-row trim), z-overhead, the Figure-1
+   efficiency ``L / (N + z)`` and the reliability of the resulting
+   secret (estimator over-promises convert into rank deficit exactly
+   as in :mod:`repro.core.eve`, block by disjoint block).
 
-The engine is a statistical model, not a bit-exact replay: it keeps
-fractional row counts (integrality costs the session O(1/N)), plans
-with the scenario-level LP instead of the per-round realised LP, and
+The engine remains a statistical model, not a bit-exact replay: it
 applies leave-one-out exclusions at subset granularity using global
-miss rates.  The cross-validation suite pins the agreement between the
-two under Monte-Carlo tolerance; anything sharper belongs to the
-per-packet oracle.
+miss rates, and it accounts supports at histogram granularity rather
+than packet identity.  The cross-validation suite pins the agreement
+with the oracle under Monte-Carlo tolerance; anything sharper belongs
+to the per-packet session.
+
+Seed-stream derivation: an engine owns one
+:class:`numpy.random.Generator` (constructed from ``seed`` or passed
+in via ``rng``) and consumes it in a fixed order per batch — the
+reception tensor first, then one hypergeometric draw per (active
+subset, contributing cell) pair per round, iterated in ascending mask
+order.  Campaign runners derive per-cell/per-experiment generators
+from ``SeedSequence`` spawns (:mod:`repro.sim.campaign`,
+:func:`repro.analysis.experiments._experiment_seed_sequence`), which is
+what makes sharded campaigns bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +74,7 @@ from repro.sim.spec import (
     OracleEstimatorSpec,
     Scenario,
 )
+from repro.theory.allocation import realised_support_flow
 from repro.theory.efficiency import group_allocation_profile
 
 __all__ = ["BatchResult", "BatchedRoundEngine", "run_batch"]
@@ -88,9 +112,9 @@ class BatchResult:
     """Per-round statistics of one simulated batch (arrays of shape (B,)
     unless noted).
 
-    ``secret_packets`` and the derived efficiency keep the engine's
-    fractional accounting; :attr:`secret_packets_int` floors to whole
-    packets for bit counting.
+    ``secret_packets`` holds whole packets per round (the realised
+    planner allocates integral rows, like the session); the float dtype
+    and :attr:`secret_packets_int` survive for API compatibility.
     """
 
     scenario: Scenario
@@ -190,31 +214,68 @@ class BatchedRoundEngine:
             cap = min(cap, self.scenario.max_subset_size)
         return cap
 
-    def _budgets(
-        self,
-        spec: EstimatorSpec,
-        pools: np.ndarray,
-        eve_pools: np.ndarray,
-        counts: np.ndarray,
-        miss_rates: np.ndarray,
-    ) -> np.ndarray:
-        """Certified Eve-miss lower bound per (round, subset) pool."""
+    def _planning_certified_rate(self, spec: EstimatorSpec, p: float) -> float:
+        """Expected certified Eve-miss rate per support packet, used to
+        size the planning LP's support-feasibility rows.
+
+        The oracle certifies Eve's true rate ``p``; leave-one-out
+        certifies a witness's rate minus its margin (~``p - margin``
+        under symmetric channels); k-collusion certifies the union-miss
+        rate ``p**k`` minus the margin; a fixed-fraction guarantee
+        certifies its fraction.  Weaker rates mean each planned row
+        needs proportionally more support packets.
+        """
         if isinstance(spec, OracleEstimatorSpec):
-            return eve_pools.copy()
+            return p
         if isinstance(spec, FixedFractionEstimatorSpec):
-            return spec.fraction * pools
+            return spec.fraction
         if isinstance(spec, LeaveOneOutEstimatorSpec):
-            rates = self._leave_one_out_rates(miss_rates, spec.rate_margin)
-            return rates * pools
+            return max(p - spec.rate_margin, 0.0)
         if isinstance(spec, CollusionEstimatorSpec):
-            rates = self._collusion_rates(counts, spec)
-            return rates * pools
+            return max(p**spec.k - spec.rate_margin, 0.0)
         if isinstance(spec, CombinedEstimatorSpec):
-            stacked = [
-                self._budgets(child, pools, eve_pools, counts, miss_rates)
-                for child in spec.children
-            ]
-            return np.minimum.reduce(stacked)
+            return min(
+                self._planning_certified_rate(child, p) for child in spec.children
+            )
+        raise TypeError(f"unknown estimator spec {spec!r}")
+
+    def _certified_rates(
+        self, spec: EstimatorSpec, counts: np.ndarray, miss_rates: np.ndarray
+    ) -> Tuple[Optional[np.ndarray], bool]:
+        """Rate-based certification per (round, subset), plus oracle flag.
+
+        Returns ``(rates, uses_oracle)``: ``rates`` is the certified
+        Eve-miss *rate* a block decodable by each subset may claim on
+        any support drawn from its pool (None when the spec has no
+        rate-based component), and ``uses_oracle`` says whether the
+        estimator also knows Eve's exact misses (the ground-truth
+        budget).  Rate evidence scales linearly with support size; the
+        oracle is evaluated on the realised support itself.
+        """
+        if isinstance(spec, OracleEstimatorSpec):
+            return None, True
+        if isinstance(spec, FixedFractionEstimatorSpec):
+            rates = np.full((counts.shape[0], self._n_subsets), spec.fraction)
+            return rates, False
+        if isinstance(spec, LeaveOneOutEstimatorSpec):
+            return self._leave_one_out_rates(miss_rates, spec.rate_margin), False
+        if isinstance(spec, CollusionEstimatorSpec):
+            return self._collusion_rates(counts, spec), False
+        if isinstance(spec, CombinedEstimatorSpec):
+            rates: Optional[np.ndarray] = None
+            uses_oracle = False
+            for child in spec.children:
+                child_rates, child_oracle = self._certified_rates(
+                    child, counts, miss_rates
+                )
+                uses_oracle = uses_oracle or child_oracle
+                if child_rates is not None:
+                    rates = (
+                        child_rates
+                        if rates is None
+                        else np.minimum(rates, child_rates)
+                    )
+            return rates, uses_oracle
         raise TypeError(f"unknown estimator spec {spec!r}")
 
     def _leave_one_out_rates(
@@ -259,6 +320,147 @@ class BatchedRoundEngine:
             rates[:, s] = worst
         return np.maximum(rates - spec.rate_margin, 0.0)
 
+    # -- realised per-round assignment -----------------------------------
+
+    def _integerise_demand(
+        self, id_need: np.ndarray, counts_int: np.ndarray
+    ) -> np.ndarray:
+        """Round one round's fractional support demand to whole packets.
+
+        Largest-remainder rounding, capped by the nested size-family
+        capacities: a unit granted to subset ``T`` counts against every
+        family ``s <= |T|`` (blocks decodable by >= s receivers draw
+        from patterns of size >= s), so a blanket ``ceil`` — which can
+        inflate total demand past the realised histogram and push the
+        max-flow into starving whole subsets — never happens.  Rounds
+        whose demand is family-feasible after this step almost always
+        get their full assignment from a single flow solve.
+        """
+        sizes = self._subset_sizes
+        r = self.scenario.n_receivers
+        base = np.floor(id_need + 1e-9)
+        remainder = id_need - base
+        fam_need = np.array(
+            [base[sizes >= s].sum() for s in range(r + 1)]
+        )
+        fam_cap = np.array(
+            [counts_int[sizes >= s].sum() for s in range(r + 1)]
+        )
+        demand = base.copy()
+        # Deterministic order: biggest remainder first, mask tie-break.
+        order = np.lexsort((np.arange(remainder.size), -remainder))
+        for s_idx in order:
+            if remainder[s_idx] <= 1e-9:
+                break
+            level = int(sizes[s_idx])
+            if level == 0:
+                continue
+            if np.all(fam_need[1 : level + 1] + 1 <= fam_cap[1 : level + 1]):
+                demand[s_idx] += 1
+                fam_need[1 : level + 1] += 1
+        return demand.astype(np.int64)
+
+    def _realise_round(
+        self,
+        counts_int: np.ndarray,
+        miss_int: np.ndarray,
+        demand_rows: np.ndarray,
+        id_demand: np.ndarray,
+        rates: Optional[np.ndarray],
+        uses_oracle: bool,
+    ) -> Tuple[np.ndarray, float]:
+        """One round's integral assignment: (rows over 2^r subsets, deficit).
+
+        Draws the round's support assignment from the memoized flow on
+        the observed pattern histogram, samples Eve's misses inside
+        each realised support (multivariate hypergeometric over the
+        support's cell composition), certifies rows per estimator on
+        the realised support, trims rows that cannot raise ``L`` (the
+        session's :func:`repro.coding.privacy._trim_excess_rows`), and
+        sums the rank deficit Eve's actual misses leave behind.
+        """
+        rows = np.zeros(self._n_subsets)
+        active = np.flatnonzero(id_demand)
+        if active.size == 0:
+            return rows, 0.0
+        cell_masks = np.flatnonzero(counts_int)
+        cell_masks = cell_masks[cell_masks != 0]
+        if cell_masks.size == 0:
+            return rows, 0.0
+        plan = realised_support_flow(
+            tuple((int(p), int(counts_int[p])) for p in cell_masks),
+            tuple((int(s), int(id_demand[s])) for s in active),
+            top_up=rates is None,
+        )
+        flow = plan.flow
+        assigned = plan.assigned
+
+        # Eve's misses inside each realised support: cells are
+        # exchangeable pools, so sequential hypergeometric draws give
+        # the exact multivariate law of the disjoint supports.
+        good_left = {p: int(miss_int[p]) for p in plan.cells}
+        total_left = {p: int(counts_int[p]) for p in plan.cells}
+        sampled = np.zeros(len(plan.subsets))
+        for j in range(len(plan.subsets)):
+            for k, p in enumerate(plan.cells):
+                take = int(flow[j, k])
+                if take == 0:
+                    continue
+                good = good_left[p]
+                total = total_left[p]
+                if good <= 0:
+                    drawn = 0
+                elif take >= total:
+                    drawn = good
+                else:
+                    drawn = int(self.rng.hypergeometric(good, total - good, take))
+                sampled[j] += drawn
+                good_left[p] = good - drawn
+                total_left[p] = total - take
+
+        # Certified rows per realised support, integral like the
+        # session: rate evidence scales linearly with support size (the
+        # session's LeaveOneOutEstimator deliberately applies *global*
+        # pretend-Eve rates — counting a witness's misses inside a
+        # subset pool is circular, the pool is missed wholesale by
+        # terminals outside its patterns), while the oracle certifies
+        # the support's actual sampled misses.
+        for j, s in enumerate(plan.subsets):
+            cert = np.inf
+            if uses_oracle:
+                cert = float(sampled[j])
+            if rates is not None:
+                cert = min(cert, float(rates[s]) * float(assigned[j]))
+            rows[s] = min(
+                float(np.floor(plan.scale * demand_rows[s] + 1e-9)),
+                float(np.floor(cert + 1e-9)),
+                float(assigned[j]),
+            )
+        rows = np.maximum(rows, 0.0)
+
+        # Trim rows that cannot raise L = min_i M_i (every extra z-packet
+        # hands Eve a free equation), mirroring the session's greedy
+        # small-subsets-first trim.
+        m_i = rows @ self._membership.astype(float)
+        if rows.sum() > 0:
+            floor_val = m_i.min()
+            order = sorted(
+                (s for s in plan.subsets if rows[s] > 0),
+                key=lambda s: (int(self._subset_sizes[s]), s),
+            )
+            for s in order:
+                members = self._membership[s]
+                slack = (m_i[members] - floor_val).min()
+                cut = min(rows[s], max(slack, 0.0))
+                if cut > 0:
+                    rows[s] -= cut
+                    m_i[members] -= cut
+
+        deficit = 0.0
+        for j, s in enumerate(plan.subsets):
+            deficit += max(rows[s] - sampled[j], 0.0)
+        return rows, deficit
+
     # -- the batch -------------------------------------------------------
 
     def run(self, rounds: Optional[int] = None) -> BatchResult:
@@ -294,39 +496,92 @@ class BatchedRoundEngine:
 
         pools = _superset_sums(counts)
         eve_pools = _superset_sums(miss_counts)
-        miss_rates = 1.0 - recv.mean(axis=2)
+        # Missed-count over n, not 1 - mean(): bitwise-identical to the
+        # collusion estimator's missed_by_all / n, so k = 1 collusion
+        # and leave-one-out certify the same budgets to the last ulp
+        # (the realised planner's integer thresholds amplify ulps).
+        miss_rates = (n - recv.sum(axis=2)) / float(n)
 
-        budgets = self._budgets(
-            scenario.estimator, pools, eve_pools, counts, miss_rates
+        # Certified budgets per (round, subset) pool: rate evidence
+        # times pool size, floored by the oracle's exact misses when
+        # the estimator knows them.
+        rates, uses_oracle = self._certified_rates(
+            scenario.estimator, counts, miss_rates
         )
+        if rates is not None:
+            budgets = np.clip(rates, 0.0, 1.0) * pools
+            if uses_oracle:
+                budgets = np.minimum(budgets, eve_pools)
+        else:
+            budgets = eve_pools.copy()
         budgets[:, 0] = 0.0
 
-        # Allocation reuse: one memoized LP per scenario, clamped to the
-        # realised pools and certified budgets of each round.
+        # Planning: one memoized LP per scenario sets the per-level row
+        # targets; each round's demand is the target clamped by its
+        # certified budget and realised pool.
+        planning_loss = scenario.loss.planning_loss(r)
         profile = group_allocation_profile(
             scenario.n_terminals,
-            scenario.loss.planning_loss(r),
+            planning_loss,
             z_cost_factor=scenario.z_cost_factor,
             max_level=self._certifiable_level_cap(scenario.estimator),
+            support_feasible=True,
+            support_rate=self._planning_certified_rate(
+                scenario.estimator, planning_loss
+            ),
         )
         level_rows = np.concatenate(([0.0], np.asarray(profile.level_rows)))
         targets = level_rows[self._subset_sizes] * n  # (2^r,)
-        rows = np.minimum(targets[None, :], np.minimum(budgets, pools))
-        rows = np.maximum(rows, 0.0)
+        demand_rows = np.minimum(targets[None, :], np.minimum(budgets, pools))
+        demand_rows = np.maximum(demand_rows, 0.0)
 
-        # Disjoint supports: a block of `rows` y-rows at certified rate
-        # budget/pool consumes rows * pool / budget support ids; the
-        # union of reception sets caps the total (the LP's s = 0 row).
+        # Support demand in packets: rate evidence needs pool/budget
+        # packets per certified row.
         with np.errstate(divide="ignore", invalid="ignore"):
-            support_need = np.where(budgets > 0, rows * pools / budgets, 0.0)
-            eve_fraction = np.where(pools > 0, eve_pools / pools, 0.0)
-        union = n - counts[:, 0]
-        total_support = support_need.sum(axis=1)
-        scale = np.ones(b)
-        over = total_support > union
-        scale[over] = union[over] / total_support[over]
-        rows *= scale[:, None]
-        support_need *= scale[:, None]
+            pool_rates = np.where(pools > 0, budgets / pools, 0.0)
+            id_need = np.where(
+                pool_rates > 1e-12, demand_rows / pool_rates, 0.0
+            )
+
+        # Realised feasibility: the planning targets saturate the
+        # *expected* support-capacity families, so on a realised
+        # histogram roughly half the rounds overshoot them.  Scale each
+        # nested size family (blocks decodable by >= s receivers can
+        # only draw support from patterns of size >= s — the Hall
+        # condition of the transportation flow) down to what the round
+        # actually holds, largest s first, so the max-flow distributes
+        # demand instead of starving whichever subsets it visits last.
+        sizes = self._subset_sizes
+        for s in range(r, 0, -1):
+            family = sizes >= s
+            need = id_need[:, family].sum(axis=1)
+            cap = counts[:, family].sum(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = np.where(need > cap, cap / np.maximum(need, 1e-12), 1.0)
+            if np.any(scale < 1.0):
+                id_need[:, family] *= scale[:, None]
+                demand_rows[:, family] *= scale[:, None]
+
+        # Rounds where the demand floors to zero rows request no
+        # support at all (they must not starve other subsets).
+        id_need = np.minimum(id_need, pools)
+        id_need[np.floor(demand_rows + 1e-9) < 1.0] = 0.0
+        id_need[:, 0] = 0.0
+
+        counts_int = np.rint(counts).astype(np.int64)
+        miss_int = np.rint(miss_counts).astype(np.int64)
+        rows = np.zeros((b, n_sub))
+        deficit = np.zeros(b)
+        for bi in range(b):
+            id_demand = self._integerise_demand(id_need[bi], counts_int[bi])
+            rows[bi], deficit[bi] = self._realise_round(
+                counts_int[bi],
+                miss_int[bi],
+                demand_rows[bi],
+                id_demand,
+                rates[bi] if rates is not None else None,
+                uses_oracle,
+            )
 
         m_i = rows @ self._membership.astype(float)  # (B, r)
         l_cap = m_i.min(axis=1)
@@ -341,14 +596,10 @@ class BatchedRoundEngine:
         secret = np.maximum(l_cap - slack, 0.0)
         secret[m_total <= 0] = 0.0
 
-        # Secrecy deficit: inside each block's support, Eve's *actual*
-        # misses may fall short of the certified budget; every missing
-        # dimension costs one rank of hiddenness (disjoint blocks add).
-        eve_in_support = support_need * eve_fraction
-        # The 1e-9 floor clips float roundoff (the oracle path computes
-        # rows * pools / budgets * budgets / pools); true deficits are
-        # whole dimensions.
-        deficit = np.maximum(rows - eve_in_support - 1e-9, 0.0).sum(axis=1)
+        # Secrecy deficit: inside each block's realised support, Eve's
+        # sampled misses may fall short of the certified rows; every
+        # missing dimension costs one rank of hiddenness (disjoint
+        # blocks add).  The withheld slack dims absorb deficit first.
         effective_deficit = np.maximum(deficit - slack, 0.0)
         hidden = np.maximum(secret - effective_deficit, 0.0)
         reliability = np.ones(b)

@@ -11,6 +11,36 @@ Loss specs own their *sampling law*: each knows how to draw the full
 its per-link marginal loss probabilities are (the contract the tests
 check against the per-packet :class:`repro.net.medium.LossModel`
 counterparts).
+
+Invariants every spec upholds (the engine and bridges rely on them):
+
+* **Link order.**  A scenario with ``n`` terminals and an adversary
+  with ``k`` antennas has ``(n - 1) + k`` directed links, always in
+  the same order: the leader's ``n - 1`` fellow receivers first (in
+  placement/name order), then the adversary's antenna columns — her
+  primary vantage followed by any extra cells in the order given.
+  :func:`repro.sim.reception.sample_receptions` splits the tensor on
+  exactly that boundary and unions Eve's trailing ``k`` columns into
+  one capture bit per packet.  Specs that carry explicit per-link
+  entries (:class:`MatrixLossSpec`, :class:`ScheduleLossSpec`) demand
+  an *exact* width match — slicing a wider table would silently hand
+  Eve a receiver's probabilities.
+* **Loss tensor axes.**  ``sample_losses`` returns bool
+  ``(rounds, n_links, n_packets)``, True where the copy is LOST; the
+  packet axis is transmission order, which is what lets
+  :class:`ScheduleLossSpec` tile its ``(n_patterns, n_links)`` table
+  across packets (packet ``j`` airs in slot ``phase + j``; all links
+  share a slot's pattern, so jamming hits them simultaneously).
+* **Planning marginals.**  ``planning_loss`` feeds the allocation LP
+  and averages *receiver* links only — Eve's trailing columns must
+  never bias the plan.
+* **Seed streams.**  Specs are pure data and never hold generators; a
+  spec draws only from the ``rng`` it is handed, in a single
+  vectorised pass per batch.  Campaign runners hand each scenario
+  cell / experiment its own ``SeedSequence``-spawned generator
+  (:mod:`repro.sim.campaign`,
+  ``repro.analysis.experiments._experiment_seed_sequence``), which is
+  what makes sharded campaigns bit-identical to serial ones.
 """
 
 from __future__ import annotations

@@ -126,13 +126,28 @@ class Testbed:
         jitter stream :meth:`build_medium` would (terminals in placement
         order, then Eve), so the analytic slot-aware bridge
         (:mod:`repro.testbed.pertable`) and a per-packet medium built
-        from the same generator state see identical geometry.
+        from the same generator state see identical geometry.  Extra
+        Eve antennas draw *after* these positions — call
+        :meth:`antenna_positions` next with the same generator.
         """
         terminal_positions = [
             self._place(cell, rng) for cell in placement.terminal_cells
         ]
         eve_position = self._place(placement.eve_cell, rng)
         return terminal_positions, eve_position
+
+    def antenna_positions(
+        self, cells: tuple, rng: np.random.Generator
+    ) -> list:
+        """Jittered positions for extra Eve-antenna cells.
+
+        Consumes the jitter stream in the same order
+        :meth:`build_medium` does (after the terminal and primary Eve
+        draws of :meth:`node_positions`), so the analytic bridge and a
+        per-packet medium sharing a generator state agree on every
+        antenna's geometry.
+        """
+        return [self._place(c, rng) for c in cells]
 
     def build_medium(
         self,
@@ -165,7 +180,7 @@ class Testbed:
         eve = Eavesdropper(
             name="eve",
             position=eve_position,
-            extra_antennas=[self._place(c, rng) for c in eve_extra_cells],
+            extra_antennas=self.antenna_positions(tuple(eve_extra_cells), rng),
         )
         loss_model = PhysicalLossModel(self.config, self.interference)
         medium = BroadcastMedium(

@@ -15,6 +15,23 @@ The result feeds a :class:`~repro.sim.spec.ScheduleLossSpec`, so the
 per-pattern structure — in-beam slots bursty-lossy, clear slots clean —
 survives all the way into the subset-lattice accounting.  Faster (no
 per-packet probe loop) and more faithful at once.
+
+Axis and ordering conventions (shared with :mod:`repro.sim.spec`):
+
+* Tables are ``(n_patterns, n_tx, n_rx)``; pattern index ``k`` is the
+  schedule's k-th noise pattern, active during slots
+  ``[k * slots_per_pattern, (k+1) * slots_per_pattern)`` of each
+  period.
+* ``rx`` columns follow the engine's link order: the leader's fellow
+  terminals in placement order first, then every Eve antenna — her
+  placement cell followed by ``eve_extra_cells`` in the order given.
+  A multi-antenna Eve therefore contributes one loss column per
+  antenna cell, and :func:`repro.sim.reception.sample_receptions`
+  unions reception across exactly those trailing columns.
+* Geometry jitter draws from the caller's generator in
+  :meth:`~repro.testbed.deployment.Testbed.build_medium` order
+  (terminals, Eve, extra antennas), so a per-packet medium built from
+  the same seed sees identical positions.
 """
 
 from __future__ import annotations
@@ -108,31 +125,52 @@ def placement_schedule_specs(
     placement: Placement,
     rng: np.random.Generator,
     payload_bytes: int = 100,
+    eve_extra_cells: tuple = (),
 ) -> list:
     """Per-leader :class:`~repro.sim.spec.ScheduleLossSpec`s for a placement.
 
     The slot-aware replacement for the probe-based
     ``placement_loss_specs`` bridge: one spec per leader, links ordered
     as the batched engine expects (the other terminals in placement
-    order, then Eve), each carrying the full per-pattern loss table and
-    the deployment's dwell length.
+    order, then every Eve antenna), each carrying the full per-pattern
+    loss table and the deployment's dwell length.
+
+    ``eve_extra_cells`` adds one trailing loss column per extra Eve
+    antenna (the multi-antenna threat model of the paper's §6 and
+    examples/multiantenna_eve.py): each antenna cell gets its own
+    per-(pattern, tx) SINR column, so an antenna parked outside the
+    jammed beam keeps hearing exactly when the schedule protects the
+    primary cell.  Pair the resulting specs with
+    ``AdversarySpec(antennas=1 + len(eve_extra_cells))`` so the
+    engine's reception sampler unions across all antenna columns.
 
     ``rng`` draws the position jitter only — the same stream
     :meth:`~repro.testbed.deployment.Testbed.build_medium` would
-    consume, so packet- and batched-engine experiments with a shared
-    seed see the same geometry.
+    consume (terminals, Eve, then extra antennas), so packet- and
+    batched-engine experiments with a shared seed see the same
+    geometry.
     """
+    for cell in eve_extra_cells:
+        if cell in placement.terminal_cells:
+            raise ValueError("Eve's extra antennas cannot share terminal cells")
     terminal_positions, eve_position = testbed.node_positions(placement, rng)
+    antenna_positions = [eve_position] + testbed.antenna_positions(
+        tuple(eve_extra_cells), rng
+    )
     table = schedule_loss_table(
         testbed,
         tx_positions=terminal_positions,
-        rx_positions=list(terminal_positions) + [eve_position],
+        rx_positions=list(terminal_positions) + antenna_positions,
         payload_bytes=payload_bytes,
     )
     n = placement.n_terminals
+    n_antennas = len(antenna_positions)
     specs = []
     for leader in range(n):
-        receivers = [j for j in range(n) if j != leader] + [n]  # Eve last
+        # Fellow terminals first, then every Eve antenna column.
+        receivers = [j for j in range(n) if j != leader] + list(
+            range(n, n + n_antennas)
+        )
         pattern_probabilities = tuple(
             tuple(float(table[k, leader, j]) for j in receivers)
             for k in range(table.shape[0])

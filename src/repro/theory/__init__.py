@@ -2,8 +2,19 @@
 capacity bounds for erasure broadcast networks.
 
 See DESIGN.md §7 for the derivation the LP implements.
+
+:mod:`repro.theory.allocation` complements the fractional LP with the
+*realised* side: memoized integral support flows on observed
+reception-pattern histograms, which the batched engine uses for honest
+per-round accounting.
 """
 
+from repro.theory.allocation import (
+    RealisedPlan,
+    clear_realised_flow_cache,
+    realised_flow_cache_info,
+    realised_support_flow,
+)
 from repro.theory.bounds import (
     group_secret_upper_bound,
     pairwise_secrecy_capacity,
@@ -28,6 +39,10 @@ __all__ = [
     "group_allocation_profile",
     "efficiency_cache_info",
     "clear_efficiency_cache",
+    "RealisedPlan",
+    "realised_support_flow",
+    "realised_flow_cache_info",
+    "clear_realised_flow_cache",
     "pairwise_secrecy_capacity",
     "group_secret_upper_bound",
 ]

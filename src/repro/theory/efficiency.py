@@ -116,6 +116,8 @@ def _solve_group_lp(
     max_iterations: int,
     tol: float,
     max_level: Optional[int] = None,
+    support_feasible: bool = False,
+    support_rate: Optional[float] = None,
 ) -> AllocationProfile:
     """Dinkelbach iteration over the level-variable LP (memoized).
 
@@ -127,6 +129,14 @@ def _solve_group_lp(
     size: estimators with structural blind spots (leave-one-out needs a
     witness outside the subset, k-collusion needs k) cannot certify
     high-level blocks, and planning rows there would waste the budget.
+
+    ``support_feasible`` adds the aggregate disjoint-support
+    constraints (see :func:`group_allocation_profile`): the Figure-1
+    bound leaves them out, a planner that must *realise* its targets
+    needs them.  ``support_rate`` is the certified Eve-miss rate one
+    support packet funds under the planned estimator (default ``p``,
+    the oracle's rate); weaker estimators certify fewer rows per
+    packet, so their allocations need proportionally more support.
     """
     r = n - 1  # receivers
     level_cap = r if max_level is None else min(max_level, r)
@@ -150,6 +160,33 @@ def _solve_group_lp(
                 row[j] = math.comb(r - s, t - s)
         a_ub.append(row)
         b_ub.append(p * (1.0 - p) ** s)
+    if support_feasible:
+        # Aggregate support capacity, s = 1..r: every block decodable
+        # by >= s receivers draws its (disjoint) support from packets
+        # whose reception pattern has size >= s, and each certified row
+        # consumes 1/support_rate support packets (the s = 0 union row
+        # above is this family's s = 1 member at the oracle's rate p).
+        # Without these rows the symmetric optimum can demand more
+        # level-t support than the realised pattern histogram holds
+        # (Hall's condition for the transportation flow), which is
+        # exactly the fractional-LP optimism the realised planner
+        # exists to remove.
+        rate = p if support_rate is None else support_rate
+        for s in range(1, r + 1):
+            row = np.zeros(n_vars)
+            hit = False
+            for j, t in enumerate(levels):
+                if t >= s:
+                    row[j] = math.comb(r, t)
+                    hit = True
+            if not hit:
+                continue
+            mass = sum(
+                math.comb(r, k) * (1.0 - p) ** k * p ** (r - k)
+                for k in range(s, r + 1)
+            )
+            a_ub.append(row)
+            b_ub.append(rate * mass)
     # Coverage: L <= M_i (symmetric, one row suffices).
     row = np.zeros(n_vars)
     row[l_idx] = 1.0
@@ -207,16 +244,37 @@ def group_allocation_profile(
     p: float,
     z_cost_factor: float = 1.0,
     max_level: Optional[int] = None,
+    support_feasible: bool = False,
+    support_rate: Optional[float] = None,
 ) -> AllocationProfile:
     """Optimal symmetric allocation for ``(n, p)`` (memoized LP solve).
 
     ``max_level`` caps the decodable-subset size the plan may use (see
     :func:`_solve_group_lp`); ``None`` leaves it unrestricted.
+
+    ``support_feasible`` additionally requires the allocation to be
+    *realisable with disjoint supports* on a typical reception
+    histogram: for every s, blocks decodable by >= s receivers must fit
+    (at ``1/support_rate`` support packets per row — ``support_rate``
+    defaults to ``p``, the oracle's certified Eve-miss rate) inside the
+    expected mass of reception patterns of size >= s.  The Figure-1
+    bound omits these rows — Eve's secrecy budget does not need them —
+    but a planner whose targets feed an integral support assignment
+    does (:mod:`repro.sim.engine` plans with them; the unconstrained
+    profile would demand more high-level support than realised rounds
+    hold and starve the max-flow).
     """
     _validate(n, p)
     if not z_cost_factor > 0:
         raise ValueError("z_cost_factor must be positive")
-    if p in (0.0, 1.0) or (max_level is not None and max_level < 1):
+    if support_rate is not None and not 0.0 <= support_rate <= 1.0:
+        raise ValueError("support_rate must be in [0, 1]")
+    degenerate = (
+        p in (0.0, 1.0)
+        or (max_level is not None and max_level < 1)
+        or (support_feasible and support_rate is not None and support_rate <= 0.0)
+    )
+    if degenerate:
         return AllocationProfile(
             n=n,
             p=p,
@@ -228,8 +286,12 @@ def group_allocation_profile(
         )
     if max_level is not None and max_level >= n - 1:
         max_level = None  # unrestricted: share the cache entry
+    if not support_feasible or (support_rate is not None and support_rate >= p):
+        support_rate = None  # oracle-rate planning: share the cache entry
     return _solve_group_lp(
-        n, float(p), float(z_cost_factor), 25, 1e-10, max_level
+        n, float(p), float(z_cost_factor), 25, 1e-10, max_level,
+        bool(support_feasible),
+        None if support_rate is None else float(support_rate),
     )
 
 

@@ -13,6 +13,7 @@ from repro.sim import (
     ScenarioGrid,
     run_sim_campaign,
 )
+from repro.sim.campaign import ShardWorkerError, shard_map
 from repro.theory import clear_efficiency_cache, efficiency_cache_info
 
 GRID = ScenarioGrid(
@@ -123,3 +124,56 @@ class TestAllocationMemoization:
         after = efficiency_cache_info()
         assert after.misses == 2
         assert after.hits >= info.hits + 2
+
+
+def _double_or_explode(item):
+    """Module-level worker (process pools must pickle it)."""
+    if item == 3:
+        raise ValueError("boom")
+    return item * 2
+
+
+class TestShardMapErrors:
+    """Worker failures must name the failing item, not surface as a
+    bare (possibly pickled) traceback from deep inside the pool."""
+
+    def test_serial_path_raises_raw(self):
+        # max_workers=None behaves exactly like a list comprehension.
+        with pytest.raises(ValueError, match="boom"):
+            shard_map(_double_or_explode, [1, 3])
+
+    def test_thread_pool_error_names_item(self):
+        with pytest.raises(
+            ShardWorkerError, match=r"cell-3.*ValueError: boom"
+        ) as excinfo:
+            shard_map(
+                _double_or_explode,
+                [1, 2, 3, 4],
+                max_workers=2,
+                label=lambda item: f"cell-{item}",
+            )
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_thread_pool_default_label_is_repr(self):
+        with pytest.raises(ShardWorkerError, match=r"failed on 3:"):
+            shard_map(_double_or_explode, [1, 3], max_workers=2)
+
+    def test_process_pool_error_names_item(self):
+        # The regression this guards: a process worker's death used to
+        # surface as an opaque pickle traceback with no scenario key.
+        with pytest.raises(
+            ShardWorkerError, match=r"cell-3.*ValueError: boom"
+        ):
+            shard_map(
+                _double_or_explode,
+                [1, 2, 3, 4],
+                max_workers=2,
+                executor="process",
+                label=lambda item: f"cell-{item}",
+            )
+
+    def test_successful_map_preserves_order(self):
+        items = list(range(8))
+        assert shard_map(
+            lambda x: x * 2, items, max_workers=3
+        ) == [x * 2 for x in items]

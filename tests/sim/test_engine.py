@@ -88,7 +88,12 @@ class TestOracleAccounting:
         )
         optimum = group_efficiency(n, p)
         assert result.mean_efficiency <= optimum + 0.01
-        assert result.mean_efficiency >= 0.75 * optimum
+        # The Figure-1 LP is a fractional bound; a realised integral
+        # allocation cannot reach it (at n = 6, p = 0.5 the per-packet
+        # session itself achieves ~0.72x).  The old 0.75x floor only
+        # held while the engine clamped the fractional plan — the
+        # optimism bug the realised planner removed.
+        assert result.mean_efficiency >= 0.65 * optimum
 
     def test_degenerate_channels_produce_no_secret(self):
         lossless = run_batch(scenario(loss=IIDLossSpec(0.0), rounds=50), seed=3)
