@@ -36,9 +36,12 @@ from repro.sim import (
 
 N_PACKETS = 100
 Z_COST = 2.0
-ROUNDS_PER_CELL = 40
+# 100 rounds/cell keeps the Monte-Carlo error of each engine's mean
+# near 0.025, so the 0.08 agreement band below is ~2.3 sigma of the
+# difference; at 40 rounds it was ~1.4 sigma and flipped on reseeding.
+ROUNDS_PER_CELL = 100
 
-#: The multi-scenario campaign: 4 cells x 40 rounds = 160 rounds.
+#: The multi-scenario campaign: 4 cells x 100 rounds = 400 rounds.
 CELLS = [
     Scenario(
         n_terminals=n,

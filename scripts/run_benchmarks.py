@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Hot-path benchmark harness: the CI perf gate's measurement side.
+
+Times the repo's campaign-scale hot paths — the batched campaign
+engine, the analytic testbed PER-table bridge, the allocation LP, the
+realised transportation flow, and the campaign store round-trip — and
+emits a machine-readable ``BENCH_<label>.json``.  CI runs this on
+every push, uploads the artifact, and fails the build when a hot path
+regresses more than the threshold against the committed
+``benchmarks/baseline.json``.
+
+Modes:
+
+* default — measure and write ``BENCH_<label>.json`` to ``--out-dir``.
+* ``--check BASELINE`` — additionally compare against a baseline file
+  and exit non-zero on any >``--threshold`` (default 25%) regression.
+* ``--update-baseline`` — rewrite ``benchmarks/baseline.json`` from
+  this run (commit the result when a deliberate change moves a hot
+  path).
+
+Comparisons use each benchmark's *best* wall time (minimum over
+``--repeats`` runs — the least noise-sensitive location statistic) and
+are normalised by the ``calibration`` benchmark, a fixed numpy
+workload that measures the host's speed: a CI runner that is uniformly
+2x slower than the baseline machine shifts every benchmark *and* the
+calibration equally, so only relative regressions trip the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.analysis.stats import StreamingMoments  # noqa: E402
+from repro.sim import (  # noqa: E402
+    CampaignRunner,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    ScenarioGrid,
+)
+from repro.store.store import CampaignStore  # noqa: E402
+from repro.testbed.deployment import Testbed, TestbedConfig  # noqa: E402
+from repro.testbed.pertable import placement_schedule_specs  # noqa: E402
+from repro.testbed.placements import Placement  # noqa: E402
+from repro.theory.allocation import (  # noqa: E402
+    clear_realised_flow_cache,
+    realised_support_flow,
+)
+from repro.theory.efficiency import (  # noqa: E402
+    clear_efficiency_cache,
+    group_allocation_profile,
+)
+
+DEFAULT_BASELINE = os.path.join(REPO, "benchmarks", "baseline.json")
+
+
+# -- the benchmarks -------------------------------------------------------
+
+
+def bench_calibration() -> None:
+    """Fixed numpy workload measuring raw host speed (the normaliser).
+
+    Deliberately elementwise-only: BLAS-free so the factor does not
+    scale with the runner's thread count, and allocation-light so it
+    tracks the single-core arithmetic speed the gated benchmarks
+    (campaign engine, LP, flow) are actually bound by.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random(2_000_000)
+    for _ in range(8):
+        a = np.tanh(a) + np.sqrt(np.abs(a) + 0.5)
+        a -= a.mean()
+    float(np.sort(a)[::4].sum())
+
+
+def bench_batched_campaign() -> None:
+    """The tentpole hot path: a multi-cell batched campaign, serial."""
+    grid = ScenarioGrid(
+        group_sizes=(3, 4, 5),
+        loss_models=(IIDLossSpec(0.3), IIDLossSpec(0.5)),
+        estimators=(LeaveOneOutEstimatorSpec(rate_margin=0.05),),
+        rounds=120,
+        n_x_packets=100,
+    )
+    CampaignRunner(seed=7).run(grid)
+
+
+def bench_pertable_bridge() -> None:
+    """Analytic per-(pattern, tx, rx) PER table for one placement."""
+    testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+    placement = Placement(eve_cell=4, terminal_cells=(0, 2, 6, 8))
+    placement_schedule_specs(testbed, placement, np.random.default_rng(3))
+
+
+def bench_allocation_lp() -> None:
+    """Cold allocation-LP solves across the paper's group sizes."""
+    clear_efficiency_cache()
+    for n in (3, 5, 8):
+        group_allocation_profile(
+            n, 0.5, z_cost_factor=2.0, support_feasible=True, support_rate=0.45
+        )
+
+
+def bench_realised_flow() -> None:
+    """Cold realised-assignment flows on representative histograms."""
+    clear_realised_flow_cache()
+    rng = np.random.default_rng(5)
+    for _ in range(120):
+        cells = tuple(
+            (int(mask), int(rng.integers(1, 30))) for mask in (1, 2, 3, 5, 6, 7)
+        )
+        demands = tuple(
+            (int(mask), int(rng.integers(0, 8))) for mask in (1, 3, 7)
+        )
+        realised_support_flow(cells, demands, top_up=True)
+
+
+def bench_store_roundtrip() -> None:
+    """Append + dedupe-read 300 experiment records through the store."""
+    with tempfile.TemporaryDirectory() as root:
+        store = CampaignStore(root)
+        record = {
+            "kind": "experiment",
+            "n_terminals": 4,
+            "placement": {"__spec__": "Placement", "eve_cell": 4,
+                          "terminal_cells": [0, 2, 6, 8]},
+            "efficiency": 0.0421,
+            "reliability": 0.93,
+            "secret_bits": 4000,
+            "transmitted_bits": 95000,
+        }
+        for i in range(300):
+            store.append(f"{i:020x}", dict(record, secret_bits=i))
+        total = sum(1 for _ in store.stream())
+        assert total == 300
+
+
+BENCHMARKS = {
+    "calibration": bench_calibration,
+    "batched_campaign": bench_batched_campaign,
+    "pertable_bridge": bench_pertable_bridge,
+    "allocation_lp": bench_allocation_lp,
+    "realised_flow": bench_realised_flow,
+    "store_roundtrip": bench_store_roundtrip,
+}
+
+#: Per-benchmark slowdown allowances overriding ``--threshold``.  The
+#: store round-trip is fsync-bound: CI ephemeral disks legitimately
+#: vary several-fold in sync latency, which the CPU calibration factor
+#: cannot cancel, so it gates only against order-of-magnitude blowups
+#: (an accidental O(n^2) rescan, a lost batching).
+THRESHOLD_OVERRIDES = {
+    "store_roundtrip": 3.0,
+}
+
+
+# -- harness --------------------------------------------------------------
+
+
+def run_benchmarks(repeats: int) -> dict:
+    results = {}
+    for name, fn in BENCHMARKS.items():
+        fn()  # one untimed warmup (imports, allocator, page cache)
+        moments = StreamingMoments()
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            moments.update(time.perf_counter() - t0)
+        results[name] = {
+            "best_s": moments.minimum,
+            "mean_s": moments.mean,
+            "std_s": moments.std if moments.count > 1 else 0.0,
+            "repeats": repeats,
+        }
+        print(
+            f"{name:20s} best {moments.minimum * 1e3:8.1f} ms   "
+            f"mean {moments.mean * 1e3:8.1f} ms",
+            flush=True,
+        )
+    return results
+
+
+def check_against_baseline(
+    current: dict, baseline: dict, threshold: float
+) -> int:
+    """Compare best times, calibration-normalised; returns exit code."""
+    cur_cal = current.get("calibration", {}).get("best_s")
+    base_cal = baseline.get("calibration", {}).get("best_s")
+    normalise = bool(cur_cal and base_cal)
+    if not normalise:
+        print("calibration benchmark missing: comparing raw wall times")
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name == "calibration":
+            continue
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        ratio = current[name]["best_s"] / base["best_s"]
+        if normalise:
+            ratio /= cur_cal / base_cal
+        allowed = THRESHOLD_OVERRIDES.get(name, threshold)
+        verdict = "ok"
+        if ratio > 1.0 + allowed:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {ratio:.2f}x the baseline "
+                f"(threshold {1.0 + allowed:.2f}x)"
+            )
+        elif ratio < 1.0 - allowed:
+            verdict = "faster (consider --update-baseline)"
+        print(f"{name:20s} {ratio:6.2f}x baseline   {verdict}")
+    for name in sorted(set(current) - set(baseline) - {"calibration"}):
+        print(f"{name:20s} new benchmark (no baseline entry)")
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default="local",
+        help="artifact label: the output file is BENCH_<label>.json "
+        "(CI passes the commit SHA)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=REPO,
+        help="directory for BENCH_<label>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per benchmark"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare against this baseline JSON and fail on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that fails the gate (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"rewrite {os.path.relpath(DEFAULT_BASELINE, REPO)} from this run",
+    )
+    args = parser.parse_args()
+
+    results = run_benchmarks(repeats=args.repeats)
+    payload = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.label}.json")
+    with open(out_path, "w") as f:
+        json.dump(payload, f, indent=1)
+    print(f"\nwrote {out_path}")
+
+    if args.update_baseline:
+        with open(DEFAULT_BASELINE, "w") as f:
+            json.dump(results, f, indent=1)
+        print(f"updated {DEFAULT_BASELINE}")
+
+    if args.check is not None:
+        with open(args.check) as f:
+            baseline = json.load(f)
+        # Baselines store either the bare results mapping or a full
+        # BENCH_<label>.json payload; accept both.
+        baseline = baseline.get("results", baseline)
+        print()
+        return check_against_baseline(results, baseline, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

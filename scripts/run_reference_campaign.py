@@ -14,11 +14,21 @@ Engines (``--engine``):
   ground truth (the original reference path; slow).
 * ``both`` — run both and write both snapshots (cross-validation).
 
-Sharding (``--workers N``, ``--executor thread|process``): placements
-are independent experiments with private SeedSequence-derived RNG
-streams, so sharded runs are bit-identical to serial ones at the same
-seed.  Use the process executor to sidestep the GIL for the pure-Python
-packet engine.
+Sharding (``--workers N``, ``--executor thread|process|auto``):
+placements are independent experiments with private
+SeedSequence-derived RNG streams, so sharded runs are bit-identical to
+serial ones at the same seed.  ``auto`` (the default) picks a process
+pool for large placement grids and threads for small ones.
+
+Persistence (``--store DIR``, ``--resume``): every completed
+experiment is appended to a content-keyed JSONL shard in DIR the
+moment it finishes (see :mod:`repro.store`); with ``--resume`` a
+re-run loads finished experiments instead of recomputing them, so an
+interrupted campaign restarts from the last completed placement and
+ends bit-identical to an uninterrupted run.  With a store, the summary
+tables are computed by *streaming* the stored records through the
+merge-able accumulators in :mod:`repro.analysis.stats` — the
+experiment population is never materialised.
 """
 
 import argparse
@@ -29,19 +39,31 @@ import time
 import numpy as np
 
 from repro import SessionConfig, Testbed, TestbedConfig
-from repro.analysis import CampaignConfig, run_campaign, summarize_reliability
+from repro.analysis import (
+    CampaignConfig,
+    experiment_store_key,
+    run_campaign,
+    summarize_reliability,
+)
 from repro.core import CombinedEstimator, LeaveOneOutEstimator
 from repro.sim import (
     CombinedEstimatorSpec,
     FixedFractionEstimatorSpec,
     LeaveOneOutEstimatorSpec,
 )
+from repro.store import CampaignStore
+from repro.store.aggregate import stream_aggregates
 from repro.testbed.estimator import (
     InterferenceAwareEstimator,
     calibrate_min_jam_loss,
 )
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Batched-engine batch size per leader — passed to run_campaign AND to
+#: experiment_store_key, which must agree or the streamed summaries
+#: would silently miss every shard.
+ROUNDS_PER_LEADER = 8
 
 
 class CombinedFactory:
@@ -120,9 +142,24 @@ def main():
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process"),
-        default="thread",
-        help="worker pool kind (process sidesteps the GIL for --engine packet)",
+        choices=("thread", "process", "auto"),
+        default="auto",
+        help="worker pool kind (auto: process pool for large grids; "
+        "process sidesteps the GIL for --engine packet)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist each completed experiment to a content-keyed JSONL "
+        "shard in DIR (crash-safe; summaries then stream from the store)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: load already-completed experiments from DIR "
+        "instead of recomputing them (bit-identical to an "
+        "uninterrupted run)",
     )
     parser.add_argument(
         "--eve-cells",
@@ -137,6 +174,9 @@ def main():
     )
     args = parser.parse_args()
     engines = ("batched", "packet") if args.engine == "both" else (args.engine,)
+    if args.resume and args.store is None:
+        parser.error("--resume requires --store DIR")
+    store = CampaignStore(args.store) if args.store is not None else None
 
     os.makedirs(OUT_DIR, exist_ok=True)
     testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
@@ -171,6 +211,9 @@ def main():
                 engine=engine,
                 max_workers=args.workers,
                 executor=args.executor,
+                store=store,
+                resume=args.resume,
+                rounds_per_leader=ROUNDS_PER_LEADER,
                 **kwargs,
             )
             path = os.path.join(OUT_DIR, f"campaign_{label}{suffix}.json")
@@ -189,6 +232,47 @@ def main():
                 f"{time.time()-t1:.0f}s -> {path}",
                 flush=True,
             )
+            groups = None
+            if store is not None:
+                # Streaming path: fold this variant's stored shards
+                # through the merge-able accumulators — the experiment
+                # population is never materialised, however large the
+                # sweep.  Keys scope the shared store to this variant.
+                identity = kwargs.get("estimator_spec") or kwargs.get(
+                    "estimator_factory"
+                )
+                keys = [
+                    experiment_store_key(
+                        testbed, config, engine, identity, r.placement,
+                        ROUNDS_PER_LEADER,
+                    )
+                    for r in result.records
+                ]
+                groups = stream_aggregates(store, keys)
+                if result.records and not groups:
+                    # Keys missed every shard: the key derivation above
+                    # disagrees with run_campaign's.  Fall back to the
+                    # in-memory summaries rather than printing nothing.
+                    print(
+                        "  WARNING: no stored shards matched this "
+                        "variant's keys; summarising in memory",
+                        flush=True,
+                    )
+                    groups = None
+            if groups is not None:
+                for n, agg in sorted(groups.items()):
+                    if not agg.reliability:
+                        print(f"  n={n}: no secret produced", flush=True)
+                        continue
+                    s = agg.reliability_summary()
+                    print(
+                        f"  n={n}: rel min={s.minimum:.2f} p95={s.p95:.2f} "
+                        f"mean={s.mean:.2f} med={s.median:.2f} | "
+                        f"eff min={agg.efficiency.minimum:.4f} "
+                        f"mean={agg.efficiency.mean:.4f}",
+                        flush=True,
+                    )
+                continue
             for n in result.group_sizes():
                 rels = result.reliabilities(n)
                 if not rels:

@@ -1,11 +1,34 @@
-"""Legacy setup shim.
+"""Packaging metadata — the single source of the dependency list.
 
-The execution environment ships setuptools without the ``wheel`` package,
-so PEP 660 editable installs cannot build; this shim lets
-``pip install -e .`` fall back to the classic ``setup.py develop`` path.
-All metadata lives in pyproject.toml.
+CI installs the project with ``pip install -e .[test]`` (see
+.github/workflows/ci.yml and nightly.yml), so runtime dependencies and
+the test extras live here and nowhere else.  The execution environment
+ships setuptools without the ``wheel`` package, so PEP 660 editable
+installs cannot build; classic ``setup.py`` metadata lets
+``pip install -e .`` fall back to the ``setup.py develop`` path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="thin-air-secrets",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Creating shared secrets out of thin air' "
+        "(HotNets 2012): group secret agreement from broadcast erasures"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+)

@@ -36,6 +36,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.analysis` — campaign runner and figure rendering.
 - :mod:`repro.sim` — batched Monte-Carlo campaign engine (vectorised
   scenario sweeps; the per-packet session stays the ground truth).
+- :mod:`repro.store` — persistent campaign store: content-hashed JSONL
+  shards, checkpoint/resume for both campaign runners.
 - :mod:`repro.auth` — active-adversary extension (one-time MACs).
 """
 
@@ -86,6 +88,7 @@ from repro.sim import (
     ScenarioGrid,
     run_sim_campaign,
 )
+from repro.store import CampaignStore
 from repro.testbed import (
     Placement,
     Testbed,
@@ -139,6 +142,7 @@ __all__ = [
     "BatchResult",
     "CampaignRunner",
     "run_sim_campaign",
+    "CampaignStore",
     "IIDLossSpec",
     "MatrixLossSpec",
     "GilbertElliottLossSpec",

@@ -12,12 +12,19 @@ from repro.analysis.experiments import (
     CampaignConfig,
     CampaignResult,
     ExperimentRecord,
+    experiment_store_key,
     placement_loss_specs,
     run_campaign,
     run_placement_experiment,
     run_placement_experiment_batched,
 )
-from repro.analysis.stats import ReliabilitySummary, summarize_reliability
+from repro.analysis.stats import (
+    ReliabilityAccumulator,
+    ReliabilitySummary,
+    StreamingMoments,
+    ValueCountAccumulator,
+    summarize_reliability,
+)
 from repro.analysis.report import (
     render_figure1_table,
     render_figure2_table,
@@ -32,8 +39,12 @@ __all__ = [
     "run_placement_experiment",
     "run_placement_experiment_batched",
     "placement_loss_specs",
+    "experiment_store_key",
     "ReliabilitySummary",
     "summarize_reliability",
+    "StreamingMoments",
+    "ValueCountAccumulator",
+    "ReliabilityAccumulator",
     "render_figure1_table",
     "render_figure2_table",
     "render_headline_table",

@@ -41,8 +41,9 @@ import numpy as np
 from repro.core.estimator import EveErasureEstimator
 from repro.core.rotation import ExperimentResult, run_experiment
 from repro.core.session import SessionConfig
-from repro.sim.campaign import shard_map
+from repro.sim.campaign import _as_store, shard_map
 from repro.sim.engine import BatchedRoundEngine
+from repro.store.fingerprint import fingerprint
 from repro.sim.spec import (
     AdversarySpec,
     EstimatorSpec,
@@ -65,6 +66,7 @@ __all__ = [
     "run_placement_experiment_batched",
     "placement_loss_specs",
     "run_campaign",
+    "experiment_store_key",
 ]
 
 #: Builds a fresh estimator for a placement (estimators may use the
@@ -299,6 +301,42 @@ def run_placement_experiment_batched(
     )
 
 
+def experiment_store_key(
+    testbed: Testbed,
+    config: CampaignConfig,
+    engine: str,
+    estimator,
+    placement: Placement,
+    rounds_per_leader: Optional[int] = None,
+) -> str:
+    """Content-hashed store shard key for one placement experiment.
+
+    Everything that determines the experiment's outcome is in the hash:
+    the testbed configuration, the session/campaign parameters, the
+    engine, the estimator (a declarative spec, or a factory identified
+    by its dotted qualname plus instance state — factories should be
+    module-level callables so the identity is stable), the placement,
+    and — batched engine only — the per-leader batch size.  Reruns of
+    the same campaign dedupe onto the same shard; any change that could
+    alter the result changes the key.
+    """
+    return fingerprint(
+        {
+            "kind": "testbed-experiment",
+            "engine": engine,
+            "seed": config.seed,
+            "session": config.session,
+            "testbed": testbed.config,
+            "eve_extra_cells": tuple(config.eve_extra_cells),
+            "estimator": estimator,
+            "placement": placement,
+            "rounds_per_leader": (
+                rounds_per_leader if engine == "batched" else None
+            ),
+        }
+    )
+
+
 def run_campaign(
     testbed: Testbed,
     estimator_factory: Optional[EstimatorFactory] = None,
@@ -308,7 +346,9 @@ def run_campaign(
     estimator_spec: Optional[EstimatorSpec] = None,
     rounds_per_leader: int = 8,
     max_workers: Optional[int] = None,
-    executor: str = "thread",
+    executor: str = "auto",
+    store=None,
+    resume: bool = True,
 ) -> CampaignResult:
     """Run the full campaign across group sizes and placements.
 
@@ -330,13 +370,24 @@ def run_campaign(
         rounds_per_leader: batch size per leader (batched engine).
         max_workers: shard placements across this many workers; None or
             1 runs serially (identical records either way).
-        executor: ``"thread"`` or ``"process"``.  Processes sidestep the
-            GIL for the pure-Python packet engine but need a picklable
-            testbed/factory; threads suit the numpy-bound batched engine.
+        executor: ``"thread"``, ``"process"``, or ``"auto"`` (default:
+            process pool at or above
+            :data:`~repro.sim.campaign.PROCESS_POOL_ITEM_THRESHOLD`
+            pending experiments — everything shipped to the pool must
+            then pickle, which the reference factories do).
+        store: optional :class:`repro.store.CampaignStore` (or a
+            directory path): every completed experiment is durably
+            appended to its content-keyed shard as it finishes.
+        resume: with a store, load already-completed experiments
+            instead of re-running them (default); the assembled
+            :class:`CampaignResult` is bit-identical to an
+            uninterrupted run.  ``False`` re-runs everything and
+            supersedes the stored records.
     """
     if engine not in ("packet", "batched"):
         raise ValueError(f"unknown engine {engine!r}")
     config = config if config is not None else CampaignConfig()
+    store = _as_store(store)
     if engine == "packet":
         if estimator_factory is None:
             raise ValueError("the packet engine needs an estimator_factory")
@@ -388,6 +439,45 @@ def run_campaign(
             f"eve={placement.eve_cell}, cells={placement.terminal_cells})"
         )
 
+    estimator_identity = (
+        estimator_spec if engine == "batched" else estimator_factory
+    )
+
+    def key_for(placement: Placement) -> str:
+        return experiment_store_key(
+            testbed, config, engine, estimator_identity, placement,
+            rounds_per_leader,
+        )
+
+    # Checkpoint/resume: load finished experiments from the store, run
+    # only the rest, and persist each fresh record the moment its
+    # worker completes.  Records are assembled in work order from both
+    # sources, so a resumed campaign is bit-identical to an
+    # uninterrupted one.
+    records: list = [None] * len(work)
+    pending: list = []
+    if store is not None and resume:
+        from repro.store.records import experiment_record_from_json
+
+        for index, (_, placement) in enumerate(work):
+            stored = store.load(key_for(placement))
+            if stored is not None:
+                records[index] = experiment_record_from_json(stored)
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(work)))
+    pending_work = [work[index] for index in pending]
+
+    persist = None
+    if store is not None:
+        from repro.store.records import experiment_record_to_json
+
+        def persist(placement: Placement, record: ExperimentRecord) -> None:
+            store.append(
+                key_for(placement), experiment_record_to_json(record)
+            )
+
     if max_workers is None or max_workers <= 1:
         # Serial: fire progress just before each experiment, as before.
         def run_with_progress(item):
@@ -396,22 +486,30 @@ def run_campaign(
                 progress(n, placement)
             return run_one(placement)
 
-        records = shard_map(
+        results = shard_map(
             run_with_progress,
-            work,
+            pending_work,
             max_workers=max_workers,
             executor=executor,
             label=lambda item: placement_label(item[1]),
+            on_result=(
+                None
+                if persist is None
+                else lambda item, record: persist(item[1], record)
+            ),
         )
     else:
         if progress is not None:
-            for n, placement in work:
+            for n, placement in pending_work:
                 progress(n, placement)
-        records = shard_map(
+        results = shard_map(
             run_one,
-            [placement for _, placement in work],
+            [placement for _, placement in pending_work],
             max_workers=max_workers,
             executor=executor,
             label=placement_label,
+            on_result=persist,
         )
+    for index, record in zip(pending, results):
+        records[index] = record
     return CampaignResult(records=records)

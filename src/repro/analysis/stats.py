@@ -4,16 +4,38 @@ The paper plots, per group size n: the minimum reliability across all
 experiments (diamonds), the average (circles), the minimum achieved
 during 95% of experiments (triangles — i.e. the 5th percentile) and the
 minimum achieved during 50% of experiments (squares — the median).
+
+Two aggregation styles share the :class:`ReliabilitySummary` output:
+
+* :func:`summarize_reliability` — the original list-in, summary-out
+  collapse (fine when the population already sits in memory).
+* **Streaming accumulators** — :class:`StreamingMoments` (Welford
+  moments with Chan's parallel merge) and :class:`ValueCountAccumulator`
+  / :class:`ReliabilityAccumulator` (an exact, merge-able value
+  multiset for the rank statistics).  Campaign-store readers feed these
+  one record at a time, so Figure-2 aggregates over arbitrarily large
+  sweeps never materialise the experiment population; and because the
+  finalised statistics are computed from the *multiset* (insertion and
+  merge order cannot matter), an interrupted-and-resumed campaign
+  aggregates bit-identically to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["ReliabilitySummary", "summarize_reliability", "best_fraction_minimum"]
+__all__ = [
+    "ReliabilitySummary",
+    "summarize_reliability",
+    "best_fraction_minimum",
+    "StreamingMoments",
+    "ValueCountAccumulator",
+    "ReliabilityAccumulator",
+]
 
 
 def best_fraction_minimum(values: Sequence[float], fraction: float) -> float:
@@ -69,3 +91,203 @@ def summarize_reliability(
         p95=best_fraction_minimum(values, 0.95),
         median=best_fraction_minimum(values, 0.50),
     )
+
+
+class StreamingMoments:
+    """Welford moment accumulator with Chan's parallel merge.
+
+    Tracks count, mean, M2 (sum of squared deviations), minimum and
+    maximum in O(1) memory — one :meth:`update` per observation, one
+    :meth:`merge` per shard — so campaign-wide means and variances
+    never need the observation list.  Used by the benchmark harness for
+    timing statistics and by store readers for efficiency aggregates.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator in (Chan et al.'s pairwise update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (matches ``np.var`` up to rounding)."""
+        if self.count == 0:
+            raise ValueError("no values accumulated")
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class ValueCountAccumulator:
+    """Exact, merge-able multiset of observations.
+
+    The Figure-2 series are *rank* statistics (minimum, best-fraction
+    minima) — not derivable from moments alone — so this accumulator
+    keeps a ``value -> count`` map instead: exact, mergeable, and
+    order-independent.  Memory is O(distinct values): reliability
+    populations concentrate on a spike at 1.0 plus a short tail, so the
+    map stays tiny even for campaigns whose record lists would not.
+
+    Every finalised statistic is computed from the sorted multiset,
+    never from insertion order, which is what makes aggregates
+    bit-identical across serial, sharded, and interrupted-then-resumed
+    campaigns.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[float, int] = {}
+
+    def add(self, value: float, count: int = 1) -> None:
+        value = float(value)
+        if count < 1:
+            raise ValueError("count must be positive")
+        self.counts[value] = self.counts.get(value, 0) + count
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "ValueCountAccumulator") -> None:
+        for value, count in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self.counts)
+
+    @property
+    def minimum(self) -> float:
+        if not self.counts:
+            raise ValueError("no values accumulated")
+        return min(self.counts)
+
+    @property
+    def maximum(self) -> float:
+        if not self.counts:
+            raise ValueError("no values accumulated")
+        return max(self.counts)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean via compensated summation in sorted-value order
+        (deterministic whatever the insertion/merge order)."""
+        if not self.counts:
+            raise ValueError("no values accumulated")
+        total = self.total
+        return math.fsum(
+            value * count for value, count in sorted(self.counts.items())
+        ) / total
+
+    def best_fraction_minimum(self, fraction: float) -> float:
+        """Weighted-rank twin of :func:`best_fraction_minimum`: minimum
+        over the best ``fraction`` of the multiset."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        total = self.total
+        if total == 0:
+            raise ValueError("no values to summarise")
+        keep = max(1, int(np.ceil(fraction * total)))
+        seen = 0
+        for value, count in sorted(self.counts.items(), reverse=True):
+            seen += count
+            if seen >= keep:
+                return value
+        raise AssertionError("rank walked past the multiset")  # pragma: no cover
+
+
+class ReliabilityAccumulator:
+    """Streaming Figure-2 aggregate for one group size.
+
+    Wraps a :class:`ValueCountAccumulator` with the campaign-record
+    NaN convention: a zero-secret experiment carries NaN reliability
+    and is *excluded* from the population (counted in
+    :attr:`n_excluded`) — the same rule
+    :meth:`repro.analysis.experiments.CampaignResult.reliabilities`
+    applies in memory, so store-streamed aggregates can never be
+    poisoned by round-tripped NaNs.
+    """
+
+    __slots__ = ("values", "n_excluded")
+
+    def __init__(self) -> None:
+        self.values = ValueCountAccumulator()
+        self.n_excluded = 0
+
+    def add(self, reliability: float) -> None:
+        value = float(reliability)
+        if math.isnan(value):
+            self.n_excluded += 1
+        else:
+            self.values.add(value)
+
+    def extend(self, reliabilities: Iterable[float]) -> None:
+        for value in reliabilities:
+            self.add(value)
+
+    def merge(self, other: "ReliabilityAccumulator") -> None:
+        self.values.merge(other.values)
+        self.n_excluded += other.n_excluded
+
+    @property
+    def n_experiments(self) -> int:
+        """Included experiments (NaN exclusions not counted)."""
+        return self.values.total
+
+    def __bool__(self) -> bool:
+        return bool(self.values)
+
+    def summary(self, n_terminals: int) -> ReliabilitySummary:
+        """The four Figure-2 series, computed from the multiset."""
+        if not self.values:
+            raise ValueError("need at least one experiment")
+        return ReliabilitySummary(
+            n_terminals=n_terminals,
+            n_experiments=self.values.total,
+            minimum=self.values.minimum,
+            mean=self.values.mean,
+            p95=self.values.best_fraction_minimum(0.95),
+            median=self.values.best_fraction_minimum(0.50),
+        )

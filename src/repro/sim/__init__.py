@@ -25,8 +25,11 @@ Design (see :mod:`repro.sim.engine` for the full derivation):
   against each round's realised pools; no per-round LP or max-flow.
 * **Declarative campaigns** — :class:`~repro.sim.campaign.ScenarioGrid`
   expands the scenario matrix, and
-  :class:`~repro.sim.campaign.CampaignRunner` shards cells across a
-  thread pool with per-cell ``SeedSequence``-derived determinism.
+  :class:`~repro.sim.campaign.CampaignRunner` shards cells across
+  thread or process pools (``executor="auto"`` picks by grid size)
+  with content-keyed per-cell ``SeedSequence`` determinism, optionally
+  checkpointing every completed cell to a
+  :class:`repro.store.CampaignStore` for crash-safe resume.
 
 Running a campaign::
 

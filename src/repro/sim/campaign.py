@@ -4,19 +4,38 @@ A :class:`ScenarioGrid` is the cartesian product of the axes the paper
 sweeps — group size, loss model, adversary shape, estimator policy —
 expanded into concrete :class:`~repro.sim.spec.Scenario` cells.  The
 :class:`CampaignRunner` executes every cell on the batched engine,
-optionally sharding cells across a :class:`concurrent.futures` pool
-(the allocation LP and the numpy kernels release the GIL for most of
-their runtime, and the memoized LP cache is shared process-wide).
+optionally sharding cells across a :class:`concurrent.futures` pool.
+Small grids default to threads (the allocation LP and the numpy
+kernels release the GIL for most of their runtime, and the memoized LP
+cache is shared process-wide); grids of
+:data:`PROCESS_POOL_ITEM_THRESHOLD` cells or more default to a process
+pool, which sidesteps the GIL on the pure-Python realised-assignment
+loop at the cost of per-worker LP caches.
 
-Determinism: each cell's generator derives from the campaign seed via
-``SeedSequence.spawn`` keyed by cell index, so results are independent
-of worker count and execution order.
+Determinism: each cell's generator derives from
+``SeedSequence(entropy=campaign_seed, spawn_key=content-hash(cell))``
+(:func:`repro.store.fingerprint.fingerprint_spawn_key`), so a cell's
+results depend only on the campaign seed and the cell's own spec — not
+on grid order, worker count, or executor kind.  That content keying is
+also what makes the persistent store resumable: a shard written while
+sweeping one grid stays valid when the grid later grows.
+
+Checkpoint/resume: pass ``store=`` (a
+:class:`repro.store.CampaignStore` or a directory path) and every
+completed cell is durably appended to its content-keyed JSONL shard
+the moment its worker finishes; a re-run with ``resume=True`` (the
+default) loads finished cells instead of recomputing them and ends
+bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -31,16 +50,24 @@ from repro.sim.spec import (
     OracleEstimatorSpec,
     Scenario,
 )
+from repro.store.fingerprint import fingerprint, fingerprint_spawn_key
 
 __all__ = [
     "shard_map",
     "ShardWorkerError",
+    "PROCESS_POOL_ITEM_THRESHOLD",
     "ScenarioGrid",
     "ScenarioOutcome",
     "SimCampaignResult",
     "CampaignRunner",
     "run_sim_campaign",
 ]
+
+#: Work-list size at which ``executor="auto"`` switches from a thread
+#: pool to a process pool.  Below it the shared LP/flow caches and the
+#: GIL-releasing numpy kernels make threads faster; above it the
+#: per-item pure-Python accounting dominates and processes win.
+PROCESS_POOL_ITEM_THRESHOLD = 64
 
 
 class ShardWorkerError(RuntimeError):
@@ -54,12 +81,24 @@ class ShardWorkerError(RuntimeError):
     """
 
 
+def _resolve_executor(executor: str, n_items: int) -> str:
+    """Map ``"auto"`` onto a pool kind by work-list size."""
+    if executor == "auto":
+        return (
+            "process" if n_items >= PROCESS_POOL_ITEM_THRESHOLD else "thread"
+        )
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    return executor
+
+
 def shard_map(
     fn: Callable,
     items: Sequence,
     max_workers: Optional[int] = None,
     executor: str = "thread",
     label: Optional[Callable] = None,
+    on_result: Optional[Callable] = None,
 ) -> list:
     """Order-preserving map with optional thread/process sharding.
 
@@ -77,33 +116,58 @@ def shard_map(
             (exceptions propagate raw, exactly like a list
             comprehension).
         executor: ``"thread"`` (shared memory, fine for GIL-releasing
-            numpy/LP work) or ``"process"`` (sidesteps the GIL for pure
-            Python work, at pickling cost).
+            numpy/LP work), ``"process"`` (sidesteps the GIL for pure
+            Python work, at pickling cost), or ``"auto"`` (process at or
+            above :data:`PROCESS_POOL_ITEM_THRESHOLD` items, thread
+            below — callers passing closures must pick explicitly).
         label: optional ``item -> str`` naming items in error messages;
             pooled-path worker failures raise :class:`ShardWorkerError`
             carrying that name (campaign runners pass the placement's
             scenario key), with the worker's exception as the cause.
+        on_result: optional ``(item, result) -> None`` checkpoint hook,
+            always invoked in the *caller's* process as each item
+            completes — in completion order on pooled paths, item order
+            serially.  Campaign runners persist results through it, so
+            a kill mid-map loses only unfinished items.
     """
-    if executor not in ("thread", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
     items = list(items)
+    executor = _resolve_executor(executor, len(items))
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for item in items:
+            result = fn(item)
+            if on_result is not None:
+                on_result(item, result)
+            results.append(result)
+        return results
     pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     with pool_cls(max_workers=max_workers) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        results = []
-        for item, future in zip(items, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                for pending in futures:
-                    pending.cancel()
-                name = label(item) if label is not None else repr(item)
-                raise ShardWorkerError(
-                    f"shard_map worker failed on {name}: "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+        futures = {
+            pool.submit(fn, item): index
+            for index, item in enumerate(items)
+        }
+        results: list = [None] * len(items)
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    name = (
+                        label(items[index])
+                        if label is not None
+                        else repr(items[index])
+                    )
+                    raise ShardWorkerError(
+                        f"shard_map worker failed on {name}: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                if on_result is not None:
+                    on_result(items[index], results[index])
+        except BaseException:
+            for pending in futures:
+                pending.cancel()
+            raise
         return results
 
 
@@ -223,18 +287,68 @@ class SimCampaignResult:
         return sum(o.result.rounds for o in self.outcomes)
 
 
+def _run_scenario_cell(item) -> ScenarioOutcome:
+    """Module-level cell worker (process pools must pickle it).
+
+    ``item`` is ``(scenario, campaign_seed, spawn_key)``: the generator
+    is rebuilt from raw entropy on the worker side, so the same item
+    produces the same batch in any process.
+    """
+    scenario, entropy, spawn_key = item
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    )
+    return ScenarioOutcome(
+        scenario=scenario, result=BatchedRoundEngine(scenario, rng=rng).run()
+    )
+
+
 class CampaignRunner:
     """Runs a scenario grid on the batched engine.
 
     Args:
-        seed: master seed; per-cell generators derive from it.
-        max_workers: > 1 shards cells across a thread pool; None or 1
+        seed: master seed; per-cell generators derive from it via
+            content-keyed ``SeedSequence`` spawns, so a cell's draws
+            depend only on (seed, cell spec) — never on grid order or
+            sharding.
+        max_workers: > 1 shards cells across a worker pool; None or 1
             runs serially (identical results either way).
+        executor: ``"thread"``, ``"process"``, or ``"auto"`` (default:
+            process pool at or above
+            :data:`PROCESS_POOL_ITEM_THRESHOLD` pending cells).
+        store: optional :class:`repro.store.CampaignStore` (or a
+            directory path) persisting every completed cell as it
+            finishes.
+        resume: with a store, load already-completed cells instead of
+            recomputing them (default).  ``False`` recomputes every
+            cell and supersedes the stored records.
     """
 
-    def __init__(self, seed: int = 2012, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 2012,
+        max_workers: Optional[int] = None,
+        executor: str = "auto",
+        store=None,
+        resume: bool = True,
+    ) -> None:
         self.seed = seed
         self.max_workers = max_workers
+        self.executor = executor
+        self.store = _as_store(store)
+        self.resume = resume
+
+    def cell_key(self, scenario: Scenario) -> str:
+        """The cell's store shard key: a content hash of (seed, spec)."""
+        return fingerprint(
+            {"kind": "sim-cell", "seed": self.seed, "scenario": scenario}
+        )
+
+    def cell_seed_sequence(self, scenario: Scenario) -> np.random.SeedSequence:
+        """The cell's private RNG root, content-keyed like the shard."""
+        return np.random.SeedSequence(
+            entropy=self.seed, spawn_key=fingerprint_spawn_key(scenario)
+        )
 
     def run(
         self,
@@ -242,28 +356,79 @@ class CampaignRunner:
         progress: Optional[Callable[[Scenario], None]] = None,
     ) -> SimCampaignResult:
         """Execute every cell of ``grid`` (a ScenarioGrid or an iterable
-        of Scenarios); returns outcomes in cell order."""
+        of Scenarios); returns outcomes in cell order.
+
+        With a store, cells already persisted are loaded (when
+        ``resume``) and the rest are computed and appended as they
+        complete; the outcome list is assembled in cell order from
+        both, so an interrupted-then-resumed campaign is bit-identical
+        to an uninterrupted one.
+        """
         if isinstance(grid, ScenarioGrid):
             cells: Sequence[Scenario] = grid.scenarios()
         else:
             cells = list(grid)
         if not cells:
             return SimCampaignResult(outcomes=[])
-        streams = np.random.SeedSequence(self.seed).spawn(len(cells))
 
-        def run_cell(index: int) -> ScenarioOutcome:
-            scenario = cells[index]
-            if progress is not None:
-                progress(scenario)
-            engine = BatchedRoundEngine(
-                scenario, rng=np.random.default_rng(streams[index])
-            )
-            return ScenarioOutcome(scenario=scenario, result=engine.run())
+        outcomes: List[Optional[ScenarioOutcome]] = [None] * len(cells)
+        pending: List[int] = []
+        if self.store is not None and self.resume:
+            from repro.store.records import scenario_outcome_from_json
 
-        outcomes = shard_map(
-            run_cell, range(len(cells)), max_workers=self.max_workers
+            for index, scenario in enumerate(cells):
+                record = self.store.load(self.cell_key(scenario))
+                if record is not None:
+                    outcomes[index] = scenario_outcome_from_json(record)
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(cells)))
+
+        if progress is not None:
+            for index in pending:
+                progress(cells[index])
+
+        on_result = None
+        if self.store is not None:
+            from repro.store.records import scenario_outcome_to_json
+
+            def on_result(item, outcome) -> None:
+                self.store.append(
+                    self.cell_key(outcome.scenario),
+                    scenario_outcome_to_json(outcome),
+                )
+
+        # One seeding recipe: cell_seed_sequence is the authority, and
+        # the worker rebuilds the identical sequence from its raw
+        # (entropy, spawn_key) parts — the picklable form process pools
+        # need.
+        items = []
+        for index in pending:
+            seq = self.cell_seed_sequence(cells[index])
+            items.append((cells[index], seq.entropy, seq.spawn_key))
+        results = shard_map(
+            _run_scenario_cell,
+            items,
+            max_workers=self.max_workers,
+            executor=self.executor,
+            label=lambda item: item[0].label(),
+            on_result=on_result,
         )
+        for index, outcome in zip(pending, results):
+            outcomes[index] = outcome
         return SimCampaignResult(outcomes=outcomes)
+
+
+def _as_store(store):
+    """Accept a CampaignStore, a path, or None."""
+    if store is None:
+        return None
+    from repro.store.store import CampaignStore
+
+    if isinstance(store, CampaignStore):
+        return store
+    return CampaignStore(store)
 
 
 def run_sim_campaign(
@@ -271,8 +436,15 @@ def run_sim_campaign(
     seed: int = 2012,
     max_workers: Optional[int] = None,
     progress: Optional[Callable[[Scenario], None]] = None,
+    executor: str = "auto",
+    store=None,
+    resume: bool = True,
 ) -> SimCampaignResult:
-    """Convenience wrapper: ``CampaignRunner(seed, max_workers).run(grid)``."""
-    return CampaignRunner(seed=seed, max_workers=max_workers).run(
-        grid, progress=progress
-    )
+    """Convenience wrapper: ``CampaignRunner(...).run(grid)``."""
+    return CampaignRunner(
+        seed=seed,
+        max_workers=max_workers,
+        executor=executor,
+        store=store,
+        resume=resume,
+    ).run(grid, progress=progress)

@@ -1,0 +1,58 @@
+"""repro.store — persistent, resumable campaign results.
+
+The campaign runners (:class:`repro.sim.campaign.CampaignRunner`,
+:func:`repro.analysis.experiments.run_campaign`) hold every result in
+memory and restart from zero when interrupted — fine for unit-test
+grids, a ceiling for the ROADMAP's production-scale sweeps.  This
+package removes that ceiling with three small pieces:
+
+* :mod:`repro.store.fingerprint` — content-hashed shard keys: a stable
+  SHA-256 digest of the ``(n, loss, adversary, estimator, seed)`` spec,
+  so reruns dedupe and grown grids keep their finished cells.
+* :mod:`repro.store.store` — :class:`CampaignStore`: one append-only
+  JSONL shard per fingerprint, fsync-on-append, torn-line-tolerant
+  reads, last-record-wins dedupe.
+* :mod:`repro.store.records` — bit-exact JSON codecs for the two record
+  flavours (testbed :class:`~repro.analysis.experiments.ExperimentRecord`
+  lines and sim :class:`~repro.sim.campaign.ScenarioOutcome` lines),
+  including the NaN-reliability convention for zero-secret experiments.
+
+Checkpoint/resume contract: runners compute each work item's
+fingerprint up front, skip items whose shard already holds a complete
+record, persist each new result the moment its worker completes, and
+assemble the final result in grid order from loaded + fresh records —
+so an interrupted campaign resumed with ``--store DIR --resume`` ends
+bit-identical to an uninterrupted run.
+"""
+
+from repro.store.fingerprint import (
+    canonical_json,
+    fingerprint,
+    fingerprint_spawn_key,
+)
+from repro.store.records import (
+    decode_spec,
+    decode_value,
+    encode_spec,
+    encode_value,
+    experiment_record_from_json,
+    experiment_record_to_json,
+    scenario_outcome_from_json,
+    scenario_outcome_to_json,
+)
+from repro.store.store import CampaignStore
+
+__all__ = [
+    "CampaignStore",
+    "canonical_json",
+    "fingerprint",
+    "fingerprint_spawn_key",
+    "encode_value",
+    "decode_value",
+    "encode_spec",
+    "decode_spec",
+    "experiment_record_to_json",
+    "experiment_record_from_json",
+    "scenario_outcome_to_json",
+    "scenario_outcome_from_json",
+]

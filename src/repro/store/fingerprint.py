@@ -1,0 +1,97 @@
+"""Content-hashed scenario fingerprints: the store's shard keys.
+
+A fingerprint is a stable hex digest of a work item's *content* — the
+``(n, loss, adversary, estimator, seed)`` spec for a sim cell, the
+``(testbed, session, placement, engine, estimator, seed)`` tuple for a
+testbed experiment — so that
+
+* rerunning the same campaign maps every item onto the same JSONL
+  shard (reruns dedupe instead of double-counting),
+* growing a grid (new n values, new loss models) leaves previously
+  completed cells' shards valid, and
+* two *different* specs can never silently share a shard.
+
+Canonicalisation rules: dataclasses serialise as ``{"__dataclass__":
+ClassName, fields...}``, mappings sort their keys, tuples and lists
+flatten to JSON arrays, non-finite floats become tagged sentinels
+(strict JSON has no ``NaN``), and callables — estimator factories —
+serialise as their dotted qualname plus their instance attributes
+(a factory's behaviour lives in its code identity and configuration,
+not its memory address).  The digest is SHA-256, so fingerprints are
+independent of ``PYTHONHASHSEED``, process, and platform.
+
+The same canonical bytes also seed the campaign runners' per-cell RNG
+streams (:func:`fingerprint_spawn_key`): a cell's random draw is a pure
+function of (campaign seed, cell content), independent of its position
+in the grid — which is exactly what lets a store shard written by one
+grid be resumed by a larger one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Any, Tuple
+
+__all__ = ["canonical_json", "fingerprint", "fingerprint_spawn_key"]
+
+
+def _encode(obj: Any) -> Any:
+    """Map an arbitrary spec object onto canonical JSON-able data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _encode(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return {"__float__": "nan"}
+        if math.isinf(obj):
+            return {"__float__": "inf" if obj > 0 else "-inf"}
+        return obj
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if callable(obj):
+        # Functions/classes carry their own qualname; a configured
+        # factory *instance* is identified by its class plus state.
+        target = obj if hasattr(obj, "__qualname__") else type(obj)
+        state = getattr(obj, "__dict__", None)
+        return {
+            "__callable__": f"{target.__module__}.{target.__qualname__}",
+            "state": _encode(dict(state)) if state else {},
+        }
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical serialisation the digest is computed over."""
+    return json.dumps(
+        _encode(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint(obj: Any, length: int = 20) -> str:
+    """Stable hex key for a work item (default 80 bits of SHA-256)."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:length]
+
+
+def fingerprint_spawn_key(obj: Any, words: int = 4) -> Tuple[int, ...]:
+    """The first ``words`` uint32s of the digest, for ``SeedSequence``.
+
+    ``SeedSequence(entropy=campaign_seed, spawn_key=...)`` with this key
+    gives every scenario a private RNG stream that depends only on the
+    campaign seed and the cell's content — not on grid order, worker
+    count, or interpreter hash seed.
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).digest()
+    return tuple(
+        int.from_bytes(digest[4 * i : 4 * i + 4], "big") for i in range(words)
+    )

@@ -1,0 +1,151 @@
+"""Append-only, crash-safe campaign result store.
+
+One JSONL shard per scenario fingerprint under a root directory:
+
+.. code-block:: text
+
+    store-root/
+        3f9c2a41d0b8e7665f21.jsonl   # one scenario's records
+        9b01d4c7aa35e2f08c44.jsonl
+        ...
+
+Write path (:meth:`CampaignStore.append`): the record is serialised to
+one strict-JSON line, appended with a single ``write`` call, then
+flushed and ``fsync``-ed before :meth:`append` returns — a killed
+campaign loses at most the line being written, never a previously
+acknowledged one.  Because a record only becomes visible as a complete
+``\\n``-terminated line, *line present* is the completion marker; no
+separate checkpoint file can go stale.
+
+Read path (:meth:`CampaignStore.load` / :meth:`records`): lines are
+parsed one by one; a torn final line (the crash signature: truncated
+JSON, no terminator) is skipped, and duplicate lines for the same shard
+dedupe by keeping the **last** complete record — so re-running a
+scenario simply supersedes its earlier result instead of double
+counting it in aggregates.
+
+The store never holds more than one line in memory per read step, which
+is what lets the streaming accumulators in :mod:`repro.analysis.stats`
+aggregate arbitrarily large campaigns without materialising them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["CampaignStore"]
+
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+class CampaignStore:
+    """A directory of per-scenario JSONL shards.
+
+    Args:
+        root: shard directory; created on first write (and eagerly at
+            construction, so ``--store DIR`` fails fast on an
+            unwritable path rather than mid-campaign).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ------------------------------------------------------------
+
+    def shard_path(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"malformed shard key {key!r}")
+        return self.root / f"{key}.jsonl"
+
+    def keys(self) -> List[str]:
+        """Every shard key present, sorted (deterministic scan order)."""
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.shard_path(key).exists() and self.load(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.jsonl"))
+
+    # -- writes -----------------------------------------------------------
+
+    def append(self, key: str, record: Dict[str, Any]) -> None:
+        """Durably append one record line to the key's shard.
+
+        The line is written whole, flushed, and fsynced before this
+        returns: once :meth:`append` acknowledges, a crash cannot lose
+        the record; until it does, a crash leaves at most a torn final
+        line that every reader skips.
+        """
+        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        path = self.shard_path(key)
+        with open(path, "a+b") as f:
+            if f.tell() > 0:
+                # A previous crash may have left a torn trailer; seal it
+                # with a terminator so this record starts on its own
+                # line (the fragment then parses as one dead line
+                # instead of swallowing the new record).
+                f.seek(-1, os.SEEK_END)
+                if f.read(1) != b"\n":
+                    f.write(b"\n")
+            f.write(line.encode("utf-8") + b"\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    # -- reads ------------------------------------------------------------
+
+    def _iter_lines(self, key: str) -> Iterator[Dict[str, Any]]:
+        """Parse the shard's complete lines, skipping torn trailers.
+
+        A record is *complete* iff its line is newline-terminated and
+        parses as JSON; anything else (crash mid-write, disk-full
+        truncation) is ignored rather than poisoning the resume.
+        """
+        path = self.shard_path(key)
+        if not path.exists():
+            return
+        with open(path, "r", encoding="utf-8") as f:
+            for raw in f:
+                if not raw.endswith("\n"):
+                    return  # torn trailer: the write never completed
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    yield json.loads(raw)
+                except json.JSONDecodeError:
+                    continue  # corrupt line: treat as never written
+
+    def records(self, key: str) -> List[Dict[str, Any]]:
+        """All complete records of a shard, in append order."""
+        return list(self._iter_lines(key))
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The shard's effective record: the *last* complete line.
+
+        Reruns of a scenario append rather than rewrite, so the newest
+        complete record supersedes the rest (dedupe-by-recency); None
+        means the scenario never completed.
+        """
+        latest: Optional[Dict[str, Any]] = None
+        for record in self._iter_lines(key):
+            latest = record
+        return latest
+
+    def stream(self, keys=None) -> Iterator[Dict[str, Any]]:
+        """Yield every shard's effective record, one at a time.
+
+        Args:
+            keys: shard keys to read, in the order given; defaults to
+                every shard in sorted-key order.  Missing shards are
+                skipped (a half-finished campaign streams what it has).
+        """
+        for key in self.keys() if keys is None else keys:
+            record = self.load(key)
+            if record is not None:
+                yield record

@@ -1,0 +1,165 @@
+"""Streaming accumulators vs the materialised statistics they replace."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ReliabilityAccumulator,
+    StreamingMoments,
+    ValueCountAccumulator,
+    best_fraction_minimum,
+    summarize_reliability,
+)
+
+
+def populations():
+    rng = np.random.default_rng(42)
+    yield [1.0] * 40 + [0.7, 0.93, 0.85]  # the spike-plus-tail shape
+    yield list(rng.random(257))
+    yield list(np.round(rng.random(500), 2))  # heavy duplication
+    yield [0.5]
+    yield list(rng.choice([0.0, 0.25, 1.0], size=64))
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        values = rng.random(1000) * 3 - 1
+        moments = StreamingMoments()
+        moments.extend(values)
+        assert moments.count == 1000
+        assert moments.mean == pytest.approx(float(np.mean(values)), rel=1e-12)
+        assert moments.variance == pytest.approx(float(np.var(values)), rel=1e-10)
+        assert moments.std == pytest.approx(float(np.std(values)), rel=1e-10)
+        assert moments.minimum == float(values.min())
+        assert moments.maximum == float(values.max())
+
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(8)
+        values = rng.random(999)
+        whole = StreamingMoments()
+        whole.extend(values)
+        merged = StreamingMoments()
+        for chunk in np.array_split(values, 7):
+            part = StreamingMoments()
+            part.extend(chunk)
+            merged.merge(part)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-13)
+        assert merged.m2 == pytest.approx(whole.m2, rel=1e-10)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_into_empty(self):
+        part = StreamingMoments()
+        part.extend([1.0, 2.0, 3.0])
+        empty = StreamingMoments()
+        empty.merge(part)
+        assert (empty.count, empty.mean) == (3, 2.0)
+        part.merge(StreamingMoments())  # no-op the other way
+        assert part.count == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no values"):
+            StreamingMoments().variance
+
+
+class TestValueCountAccumulator:
+    @pytest.mark.parametrize("fraction", [0.05, 0.5, 0.95, 1.0])
+    def test_rank_statistics_match_materialised(self, fraction):
+        for values in populations():
+            acc = ValueCountAccumulator()
+            acc.extend(values)
+            assert acc.total == len(values)
+            assert acc.minimum == min(values)
+            assert acc.maximum == max(values)
+            assert acc.best_fraction_minimum(fraction) == best_fraction_minimum(
+                values, fraction
+            )
+
+    def test_mean_matches_materialised(self):
+        for values in populations():
+            acc = ValueCountAccumulator()
+            acc.extend(values)
+            assert acc.mean == pytest.approx(float(np.mean(values)), rel=1e-12)
+
+    def test_order_and_partition_invariance_is_exact(self):
+        """The resume guarantee: however the observations arrive —
+        shuffled, split, merged — every finalised float is *identical*,
+        not just approximately equal."""
+        rng = np.random.default_rng(11)
+        values = list(np.round(rng.random(400), 3))
+        reference = ValueCountAccumulator()
+        reference.extend(values)
+        for permutation_seed in (1, 2, 3):
+            order = np.random.default_rng(permutation_seed).permutation(400)
+            merged = ValueCountAccumulator()
+            for chunk in np.array_split(order, 9):
+                part = ValueCountAccumulator()
+                part.extend(values[i] for i in chunk)
+                merged.merge(part)
+            assert merged.counts == reference.counts
+            assert merged.mean == reference.mean  # exact, not approx
+            assert merged.best_fraction_minimum(0.95) == (
+                reference.best_fraction_minimum(0.95)
+            )
+
+    def test_validation(self):
+        acc = ValueCountAccumulator()
+        with pytest.raises(ValueError, match="no values"):
+            acc.minimum
+        with pytest.raises(ValueError, match="no values"):
+            acc.mean
+        with pytest.raises(ValueError, match="fraction"):
+            acc.best_fraction_minimum(0.0)
+        acc.add(1.0)
+        with pytest.raises(ValueError, match="count must be positive"):
+            acc.add(1.0, count=0)
+
+
+class TestReliabilityAccumulator:
+    def test_summary_matches_summarize_reliability(self):
+        for values in populations():
+            acc = ReliabilityAccumulator()
+            acc.extend(values)
+            streamed = acc.summary(5)
+            materialised = summarize_reliability(5, values)
+            assert streamed.n_experiments == materialised.n_experiments
+            assert streamed.minimum == materialised.minimum
+            assert streamed.p95 == materialised.p95
+            assert streamed.median == materialised.median
+            assert streamed.mean == pytest.approx(materialised.mean, rel=1e-12)
+
+    def test_nan_exclusion_matches_campaign_rule(self):
+        """Zero-secret experiments (NaN) are excluded exactly like
+        CampaignResult.reliabilities does in memory."""
+        values = [1.0, float("nan"), 0.8, float("nan"), 0.95]
+        acc = ReliabilityAccumulator()
+        acc.extend(values)
+        kept = [v for v in values if not math.isnan(v)]
+        assert acc.n_experiments == len(kept)
+        assert acc.n_excluded == 2
+        summary = acc.summary(3)
+        reference = summarize_reliability(3, kept)
+        assert summary.minimum == reference.minimum
+        assert summary.median == reference.median
+
+    def test_all_nan_population_is_empty(self):
+        acc = ReliabilityAccumulator()
+        acc.extend([float("nan")] * 5)
+        assert not acc
+        assert acc.n_experiments == 0
+        with pytest.raises(ValueError, match="at least one experiment"):
+            acc.summary(4)
+
+    def test_merge_accumulates_exclusions(self):
+        a = ReliabilityAccumulator()
+        a.extend([1.0, float("nan")])
+        b = ReliabilityAccumulator()
+        b.extend([0.5, float("nan"), float("nan")])
+        a.merge(b)
+        assert a.n_experiments == 2
+        assert a.n_excluded == 3
+        assert a.summary(3).minimum == 0.5

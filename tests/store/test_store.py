@@ -1,0 +1,303 @@
+"""The campaign store: fingerprints, shards, crash-safety, codecs."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.sim import (
+    AdversarySpec,
+    BatchedRoundEngine,
+    CombinedEstimatorSpec,
+    FixedFractionEstimatorSpec,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    Scenario,
+    ScheduleLossSpec,
+)
+from repro.sim.campaign import ScenarioOutcome
+from repro.store import (
+    CampaignStore,
+    canonical_json,
+    fingerprint,
+    fingerprint_spawn_key,
+)
+from repro.store.records import (
+    decode_spec,
+    encode_spec,
+    experiment_record_from_json,
+    experiment_record_to_json,
+    scenario_outcome_from_json,
+    scenario_outcome_to_json,
+)
+from repro.testbed import Placement
+
+
+def module_factory(testbed, placement):
+    """Module-level callable for the factory-fingerprint test."""
+
+
+class StatefulFactory:
+    def __init__(self, margin):
+        self.margin = margin
+
+    def __call__(self, testbed, placement):
+        pass
+
+
+SCENARIO = Scenario(
+    n_terminals=4,
+    loss=IIDLossSpec(0.4),
+    adversary=AdversarySpec(antennas=2),
+    estimator=LeaveOneOutEstimatorSpec(rate_margin=0.05),
+    n_x_packets=50,
+    rounds=12,
+    payload_bytes=32,
+)
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_keyed(self):
+        assert fingerprint(SCENARIO) == fingerprint(SCENARIO)
+        # Any field change must change the key.
+        other = Scenario(
+            n_terminals=4,
+            loss=IIDLossSpec(0.4),
+            adversary=AdversarySpec(antennas=2),
+            estimator=LeaveOneOutEstimatorSpec(rate_margin=0.05),
+            n_x_packets=50,
+            rounds=12,
+            payload_bytes=33,
+        )
+        assert fingerprint(other) != fingerprint(SCENARIO)
+
+    def test_pinned_digests(self):
+        """Fingerprints are store shard names: silently changing the
+        canonicalisation would orphan every existing store.  These pins
+        fail loudly instead."""
+        assert (
+            fingerprint({"kind": "sim-cell", "seed": 7, "scenario": SCENARIO})
+            == "31e0f0c4e10adf8ed285"
+        )
+        assert fingerprint(IIDLossSpec(0.5)) == "e3ec81692d7e34d43fff"
+
+    def test_spawn_key_matches_digest_prefix(self):
+        words = fingerprint_spawn_key(SCENARIO)
+        assert len(words) == 4
+        assert all(0 <= w < 2**32 for w in words)
+        # Distinct scenarios get distinct streams.
+        assert fingerprint_spawn_key(SCENARIO) != fingerprint_spawn_key(
+            IIDLossSpec(0.5)
+        )
+
+    def test_hash_seed_independent(self):
+        """The canonical form must not depend on dict/hash ordering."""
+        a = canonical_json({"b": 1, "a": 2, "c": {"z": 1, "y": 2}})
+        assert a == '{"a":2,"b":1,"c":{"y":2,"z":1}}'
+
+    def test_non_finite_floats(self):
+        assert '"__float__":"nan"' in canonical_json(float("nan"))
+        assert canonical_json(math.inf) == '{"__float__":"inf"}'
+
+    def test_callable_identity(self):
+        key = fingerprint(module_factory)
+        assert key == fingerprint(module_factory)
+        # Instance state distinguishes configured factories...
+        assert fingerprint(StatefulFactory(0.02)) != fingerprint(
+            StatefulFactory(0.05)
+        )
+        # ...and equal state collapses onto one key.
+        assert fingerprint(StatefulFactory(0.02)) == fingerprint(
+            StatefulFactory(0.02)
+        )
+
+    def test_unfingerprintable_rejected(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(object())
+
+
+class TestCampaignStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = fingerprint(SCENARIO)
+        store.append(key, {"kind": "experiment", "x": 1.25})
+        assert key in store
+        assert store.load(key) == {"kind": "experiment", "x": 1.25}
+        assert store.keys() == [key]
+
+    def test_last_complete_record_wins(self, tmp_path):
+        """Reruns append; readers dedupe by recency, so a superseded
+        result can never double-count in aggregates."""
+        store = CampaignStore(tmp_path)
+        key = "ab" * 10
+        store.append(key, {"v": 1})
+        store.append(key, {"v": 2})
+        assert store.load(key) == {"v": 2}
+        assert [r["v"] for r in store.records(key)] == [1, 2]
+        assert len(list(store.stream())) == 1
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        """The crash signature: a kill mid-append leaves a truncated
+        final line.  Readers must fall back to the last complete one."""
+        store = CampaignStore(tmp_path)
+        key = "cd" * 10
+        store.append(key, {"v": 1})
+        with open(store.shard_path(key), "a") as f:
+            f.write('{"v": 2, "trunc')  # no terminator, invalid JSON
+        assert store.load(key) == {"v": 1}
+        # And the shard keeps accepting appends afterwards... the torn
+        # fragment stays dead because the next line starts mid-text --
+        # which parses as *no* record for that physical line.
+        store.append(key, {"v": 3})
+        assert store.load(key) == {"v": 3}
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = "ef" * 10
+        store.append(key, {"v": 1})
+        with open(store.shard_path(key), "a") as f:
+            f.write("not json at all\n")
+        store.append(key, {"v": 2})
+        assert [r["v"] for r in store.records(key)] == [1, 2]
+
+    def test_missing_shard(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        assert store.load("0" * 20) is None
+        assert "0" * 20 not in store
+        assert store.records("0" * 20) == []
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        with pytest.raises(ValueError, match="malformed shard key"):
+            store.shard_path("../../etc/passwd")
+        with pytest.raises(ValueError, match="malformed shard key"):
+            store.append("UPPER-not-hex", {})
+
+    def test_stream_scopes_to_keys(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        for i in range(4):
+            store.append(f"{i:020x}", {"v": i})
+        scoped = list(store.stream([f"{i:020x}" for i in (2, 0)]))
+        assert [r["v"] for r in scoped] == [2, 0]
+
+    def test_records_are_strict_json(self, tmp_path):
+        """allow_nan=False end to end: a stored shard must parse with a
+        strict JSON reader (no Python-only NaN literals)."""
+        store = CampaignStore(tmp_path)
+        record = experiment_record_to_json(
+            ExperimentRecord(
+                n_terminals=3,
+                placement=Placement(eve_cell=4, terminal_cells=(0, 2, 6)),
+                efficiency=0.0,
+                reliability=float("nan"),
+                secret_bits=0,
+                transmitted_bits=100,
+            )
+        )
+        key = "12" * 10
+        store.append(key, record)
+        raw = store.shard_path(key).read_text()
+        # parse_constant fires only on NaN/Infinity literals: loading
+        # with a failing hook proves the line is strict JSON.
+        json.loads(raw, parse_constant=lambda c: pytest.fail(f"non-strict {c}"))
+
+
+class TestSpecCodec:
+    def test_nested_spec_roundtrip(self):
+        spec = Scenario(
+            n_terminals=5,
+            loss=ScheduleLossSpec(
+                pattern_probabilities=((0.1, 0.2, 0.3, 0.4, 0.9),) * 3,
+                slots_per_pattern=10,
+            ),
+            adversary=AdversarySpec(antennas=1, loss=0.7),
+            estimator=CombinedEstimatorSpec(
+                children=(
+                    FixedFractionEstimatorSpec(fraction=0.3),
+                    LeaveOneOutEstimatorSpec(rate_margin=0.02),
+                )
+            ),
+            max_subset_size=3,
+        )
+        assert decode_spec(encode_spec(spec)) == spec
+
+    def test_optional_none_fields_survive(self):
+        # None (max_subset_size, adversary loss) must never be confused
+        # with the NaN float sentinel.
+        spec = Scenario(n_terminals=3, loss=IIDLossSpec(0.5))
+        back = decode_spec(encode_spec(spec))
+        assert back.max_subset_size is None
+        assert back.adversary.loss is None
+
+    def test_unknown_spec_class_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown spec"):
+            decode_spec({"__spec__": "EvilSpec", "x": 1})
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_spec(np.random.default_rng(0))
+
+
+class TestRecordCodecs:
+    def test_experiment_record_nan_reliability_roundtrip(self):
+        """The zero-secret convention: NaN reliability must survive the
+        JSONL round-trip as NaN (not 1.0, not null-turned-0.0) so the
+        aggregate exclusion rule keeps working on loaded records."""
+        record = ExperimentRecord(
+            n_terminals=4,
+            placement=Placement(eve_cell=1, terminal_cells=(0, 2, 6, 8)),
+            efficiency=0.0,
+            reliability=float("nan"),
+            secret_bits=0,
+            transmitted_bits=12345,
+        )
+        line = json.dumps(experiment_record_to_json(record), allow_nan=False)
+        back = experiment_record_from_json(json.loads(line))
+        assert math.isnan(back.reliability)
+        assert back.placement == record.placement
+        assert back.efficiency == 0.0
+        assert back.secret_bits == 0
+        assert back.transmitted_bits == 12345
+
+    def test_experiment_record_finite_bit_identical(self):
+        record = ExperimentRecord(
+            n_terminals=4,
+            placement=Placement(eve_cell=1, terminal_cells=(0, 2, 6, 8)),
+            efficiency=0.03632871028997079,  # full float64 precision
+            reliability=0.9999999999999998,
+            secret_bits=77,
+            transmitted_bits=3,
+        )
+        line = json.dumps(experiment_record_to_json(record), allow_nan=False)
+        assert experiment_record_from_json(json.loads(line)) == record
+
+    def test_scenario_outcome_roundtrip_bit_identical(self):
+        outcome = ScenarioOutcome(
+            scenario=SCENARIO,
+            result=BatchedRoundEngine(SCENARIO, seed=3).run(),
+        )
+        line = json.dumps(scenario_outcome_to_json(outcome), allow_nan=False)
+        back = scenario_outcome_from_json(json.loads(line))
+        assert back.scenario == outcome.scenario
+        for name in (
+            "secret_packets",
+            "public_packets",
+            "total_rows",
+            "efficiency",
+            "reliability",
+            "eve_missed",
+            "terminal_receptions",
+            "delivery_rates",
+        ):
+            a = getattr(outcome.result, name)
+            b = getattr(back.result, name)
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+        assert back.result.secret_bits == outcome.result.secret_bits
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="not an experiment record"):
+            experiment_record_from_json({"kind": "sim-cell"})
+        with pytest.raises(ValueError, match="not a sim-cell record"):
+            scenario_outcome_from_json({"kind": "experiment"})
