@@ -29,11 +29,30 @@ ends bit-identical to an uninterrupted run.  With a store, the summary
 tables are computed by *streaming* the stored records through the
 merge-able accumulators in :mod:`repro.analysis.stats` — the
 experiment population is never materialised.
+
+Multi-host sweeps (``--manifest NAME``, ``--worker``,
+``--workers-per-host N``): with a manifest, each campaign variant is
+saved as a named :class:`repro.store.SweepManifest` next to the shards
+(``NAME-<engine>-<variant>``) and drained through the crash-safe
+:class:`repro.store.WorkQueue` — any number of script invocations
+pointed at the same store directory (one host, or many hosts sharing a
+filesystem) drain the sweep together, SIGKILLed workers' leases expire
+and are reclaimed, and the final aggregates are bit-identical to a
+serial run.  ``--workers-per-host N`` forks N-1 extra drain processes
+locally; ``--worker`` joins a sweep without writing JSON snapshots
+(for secondary hosts).  ``sweep-status`` reports per-manifest
+done/claimed/stale/pending counts:
+
+.. code-block:: text
+
+    python scripts/run_reference_campaign.py sweep-status --store DIR
 """
 
 import argparse
 import json
+import multiprocessing
 import os
+import sys
 import time
 
 import numpy as np
@@ -51,7 +70,7 @@ from repro.sim import (
     FixedFractionEstimatorSpec,
     LeaveOneOutEstimatorSpec,
 )
-from repro.store import CampaignStore
+from repro.store import CampaignStore, SweepManifest, WorkQueue, list_manifests
 from repro.store.aggregate import stream_aggregates
 from repro.testbed.estimator import (
     InterferenceAwareEstimator,
@@ -126,6 +145,95 @@ def engine_variants(engine, pmin):
     )
 
 
+def build_testbed():
+    return Testbed(TestbedConfig(interferer_power_dbm=10.0))
+
+
+def build_config(eve_cells):
+    session = SessionConfig(
+        n_x_packets=270, payload_bytes=100, secrecy_slack=1, z_cost_factor=2.5
+    )
+    return CampaignConfig(
+        session=session,
+        seed=2012,
+        max_placements_per_n=18,
+        group_sizes=(3, 4, 5, 6, 7, 8),
+        eve_extra_cells=tuple(eve_cells),
+    )
+
+
+def manifest_name(base, engine, label):
+    """One manifest per (engine, estimator variant) of the sweep."""
+    return f"{base}-{engine}-{label}"
+
+
+def _drain_worker(store_dir, base_name, engine, label, pmin, eve_cells):
+    """One extra drain process of a manifest sweep (module-level so it
+    forks/spawns cleanly).  Errors are fatal to this worker only: its
+    leases expire and surviving workers reclaim the work."""
+    testbed = build_testbed()
+    config = build_config(eve_cells)
+    kwargs = dict(engine_variants(engine, pmin))[label]
+    run_campaign(
+        testbed,
+        config=config,
+        engine=engine,
+        store=CampaignStore(store_dir),
+        manifest=manifest_name(base_name, engine, label),
+        rounds_per_leader=ROUNDS_PER_LEADER,
+        **kwargs,
+    )
+
+
+def sweep_status(argv):
+    """The ``sweep-status`` subcommand: per-manifest queue progress."""
+    parser = argparse.ArgumentParser(
+        prog="run_reference_campaign.py sweep-status",
+        description="Report done/claimed/stale/pending counts for every "
+        "sweep manifest in a store directory.",
+    )
+    parser.add_argument("--store", metavar="DIR", required=True)
+    parser.add_argument(
+        "--manifest",
+        metavar="PREFIX",
+        default=None,
+        help="only manifests whose name starts with PREFIX",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="judge claimed-vs-stale with the timeout the sweep's "
+        "workers actually use (default: the library default)",
+    )
+    args = parser.parse_args(argv)
+    store = CampaignStore(args.store)
+    names = [
+        name
+        for name in list_manifests(store)
+        if args.manifest is None or name.startswith(args.manifest)
+    ]
+    if not names:
+        print(f"no manifests in {args.store}", flush=True)
+        return 1
+    for name in names:
+        sweep = SweepManifest.load(store, name)
+        queue_kwargs = (
+            {} if args.lease_timeout is None
+            else {"lease_timeout": args.lease_timeout}
+        )
+        status = WorkQueue(store, sweep, **queue_kwargs).status()
+        print(
+            f"{name} (v{sweep.version}, {sweep.kind}): "
+            f"{status.done}/{status.total} done, "
+            f"{status.claimed} claimed, {status.stale} stale, "
+            f"{status.pending} pending",
+            flush=True,
+        )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -172,29 +280,52 @@ def main():
         "skipped, and both engines model Eve as capturing a packet "
         "when any antenna does",
     )
+    parser.add_argument(
+        "--manifest",
+        metavar="NAME",
+        default=None,
+        help="with --store: save each variant's work list as a sweep "
+        "manifest (NAME-<engine>-<variant>) and drain it through the "
+        "crash-safe work queue — concurrent invocations against the "
+        "same store share the sweep",
+    )
+    parser.add_argument(
+        "--worker",
+        action="store_true",
+        help="with --manifest: act as a drain worker only (no JSON "
+        "snapshots written) — the mode for secondary hosts joining a "
+        "sweep",
+    )
+    parser.add_argument(
+        "--workers-per-host",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --manifest: fork N-1 extra drain processes on this "
+        "host, each a full worker of the sweep (default 1)",
+    )
     args = parser.parse_args()
     engines = ("batched", "packet") if args.engine == "both" else (args.engine,)
     if args.resume and args.store is None:
         parser.error("--resume requires --store DIR")
+    if args.manifest is not None and args.store is None:
+        parser.error("--manifest requires --store DIR")
+    if args.worker and args.manifest is None:
+        parser.error("--worker requires --manifest NAME")
+    if args.workers_per_host < 1:
+        parser.error("--workers-per-host must be >= 1")
+    if args.workers_per_host > 1 and args.manifest is None:
+        parser.error("--workers-per-host requires --manifest NAME")
     store = CampaignStore(args.store) if args.store is not None else None
 
     os.makedirs(OUT_DIR, exist_ok=True)
-    testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
+    testbed = build_testbed()
     rng = np.random.default_rng(0)
     t0 = time.time()
     pmin = calibrate_min_jam_loss(testbed, rng, trials=250)
     print(f"min_jam_loss = {pmin:.3f} ({time.time()-t0:.0f}s)", flush=True)
 
-    session = SessionConfig(
-        n_x_packets=270, payload_bytes=100, secrecy_slack=1, z_cost_factor=2.5
-    )
-    config = CampaignConfig(
-        session=session,
-        seed=2012,
-        max_placements_per_n=18,
-        group_sizes=(3, 4, 5, 6, 7, 8),
-        eve_extra_cells=tuple(args.eve_cells),
-    )
+    config = build_config(args.eve_cells)
     if args.eve_cells:
         print(f"multi-antenna Eve: extra cells {tuple(args.eve_cells)}", flush=True)
 
@@ -204,36 +335,81 @@ def main():
             suffix += "_eve" + "-".join(str(c) for c in args.eve_cells)
         for label, kwargs in engine_variants(engine, pmin):
             t1 = time.time()
-            result = run_campaign(
-                testbed,
-                config=config,
-                progress=lambda n, pl: None,
-                engine=engine,
-                max_workers=args.workers,
-                executor=args.executor,
-                store=store,
-                resume=args.resume,
-                rounds_per_leader=ROUNDS_PER_LEADER,
-                **kwargs,
+            sweep_name = (
+                manifest_name(args.manifest, engine, label)
+                if args.manifest is not None
+                else None
             )
-            path = os.path.join(OUT_DIR, f"campaign_{label}{suffix}.json")
-            with open(path, "w") as f:
-                json.dump(
-                    {
-                        "min_jam_loss": pmin,
-                        "engine": engine,
-                        "records": campaign_to_json(result),
-                    },
-                    f,
-                    indent=1,
+            extra_workers = []
+            if sweep_name is not None and args.workers_per_host > 1:
+                # Fork the extra drain processes; the parent is the
+                # N-th worker, so the existing snapshot/summary path
+                # below keeps working unchanged.
+                for _ in range(args.workers_per_host - 1):
+                    proc = multiprocessing.Process(
+                        target=_drain_worker,
+                        args=(
+                            args.store,
+                            args.manifest,
+                            engine,
+                            label,
+                            pmin,
+                            tuple(args.eve_cells),
+                        ),
+                    )
+                    proc.start()
+                    extra_workers.append(proc)
+            try:
+                result = run_campaign(
+                    testbed,
+                    config=config,
+                    progress=lambda n, pl: None,
+                    engine=engine,
+                    max_workers=args.workers,
+                    executor=args.executor,
+                    store=store,
+                    # Manifest mode always resumes: completion is the
+                    # store's shards, which is what lets concurrent
+                    # workers share the sweep.
+                    resume=True if sweep_name is not None else args.resume,
+                    rounds_per_leader=ROUNDS_PER_LEADER,
+                    manifest=sweep_name,
+                    **kwargs,
                 )
-            print(
-                f"{engine}/{label}: {len(result.records)} experiments in "
-                f"{time.time()-t1:.0f}s -> {path}",
-                flush=True,
-            )
+            finally:
+                for proc in extra_workers:
+                    proc.join()
+            if not args.worker:
+                path = os.path.join(OUT_DIR, f"campaign_{label}{suffix}.json")
+                with open(path, "w") as f:
+                    json.dump(
+                        {
+                            "min_jam_loss": pmin,
+                            "engine": engine,
+                            "records": campaign_to_json(result),
+                        },
+                        f,
+                        indent=1,
+                    )
+                print(
+                    f"{engine}/{label}: {len(result.records)} experiments in "
+                    f"{time.time()-t1:.0f}s -> {path}",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"{engine}/{label}: sweep {sweep_name} drained in "
+                    f"{time.time()-t1:.0f}s "
+                    f"({len(result.records)} experiments complete)",
+                    flush=True,
+                )
             groups = None
-            if store is not None:
+            if sweep_name is not None:
+                # The manifest already lists this variant's shard keys
+                # — scope the streamed summaries without recomputing a
+                # single fingerprint.
+                groups = stream_aggregates(store, manifest=sweep_name)
+            elif store is not None:
                 # Streaming path: fold this variant's stored shards
                 # through the merge-able accumulators — the experiment
                 # population is never materialised, however large the
@@ -291,4 +467,8 @@ def main():
 
 
 if __name__ == "__main__":
+    # Subcommand dispatch: ``sweep-status`` is a read-only progress
+    # report; everything else is the campaign runner's flag interface.
+    if len(sys.argv) > 1 and sys.argv[1] == "sweep-status":
+        sys.exit(sweep_status(sys.argv[2:]))
     main()

@@ -12,7 +12,10 @@ from repro.analysis.experiments import (
     CampaignConfig,
     CampaignResult,
     ExperimentRecord,
+    campaign_sweep_manifest,
+    campaign_work_items,
     experiment_store_key,
+    placement_label,
     placement_loss_specs,
     run_campaign,
     run_placement_experiment,
@@ -40,6 +43,9 @@ __all__ = [
     "run_placement_experiment_batched",
     "placement_loss_specs",
     "experiment_store_key",
+    "campaign_sweep_manifest",
+    "campaign_work_items",
+    "placement_label",
     "ReliabilitySummary",
     "summarize_reliability",
     "StreamingMoments",

@@ -67,6 +67,9 @@ __all__ = [
     "placement_loss_specs",
     "run_campaign",
     "experiment_store_key",
+    "campaign_work_items",
+    "campaign_sweep_manifest",
+    "placement_label",
 ]
 
 #: Builds a fresh estimator for a placement (estimators may use the
@@ -337,6 +340,95 @@ def experiment_store_key(
     )
 
 
+def placement_label(placement: Placement) -> str:
+    """Human-readable name for one placement (error messages, status)."""
+    return (
+        f"placement(n={placement.n_terminals}, "
+        f"eve={placement.eve_cell}, cells={placement.terminal_cells})"
+    )
+
+
+def campaign_work_items(config: CampaignConfig) -> list:
+    """The campaign's work list: ``(n, placement)`` pairs, in sweep order.
+
+    Deterministic for a given config (the sampler is seeded by
+    ``config.seed``), which is what lets independent worker processes
+    rebuild the identical list and agree with a saved manifest.
+    """
+    sample_rng = np.random.default_rng(config.seed)
+    blocked = set(config.eve_extra_cells)
+    work: list = []
+    for n in config.group_sizes:
+        if config.max_placements_per_n is None:
+            placements: Sequence[Placement] = list(enumerate_placements(n))
+        else:
+            placements = sample_placements(
+                n, config.max_placements_per_n, sample_rng
+            )
+        work.extend(
+            (n, placement)
+            for placement in placements
+            if blocked.isdisjoint(placement.terminal_cells)
+        )
+    return work
+
+
+def campaign_sweep_manifest(
+    testbed: Testbed,
+    name: str,
+    config: Optional[CampaignConfig] = None,
+    engine: str = "packet",
+    estimator_factory: Optional[EstimatorFactory] = None,
+    estimator_spec: Optional[EstimatorSpec] = None,
+    rounds_per_leader: int = 8,
+):
+    """Describe a testbed campaign as a :class:`~repro.store.SweepManifest`.
+
+    One entry per placement experiment, in campaign order: the
+    experiment's content-hashed shard key
+    (:func:`experiment_store_key` — engine, estimator identity and
+    session sizing all inside the hash) plus the encoded placement.
+    Built, not saved; ``manifest.save(store)`` persists it atomically
+    next to the shards.
+    """
+    from repro.store.manifest import ManifestEntry, SweepManifest
+    from repro.store.records import encode_spec
+
+    if engine not in ("packet", "batched"):
+        raise ValueError(f"unknown engine {engine!r}")
+    config = config if config is not None else CampaignConfig()
+    identity = estimator_spec if engine == "batched" else estimator_factory
+    if identity is None:
+        raise ValueError(
+            "the packet engine needs an estimator_factory"
+            if engine == "packet"
+            else "the batched engine needs an estimator_spec"
+        )
+    entries = tuple(
+        ManifestEntry(
+            key=experiment_store_key(
+                testbed, config, engine, identity, placement, rounds_per_leader
+            ),
+            spec=encode_spec(placement),
+            label=placement_label(placement),
+        )
+        for _, placement in campaign_work_items(config)
+    )
+    return SweepManifest(
+        name=name,
+        entries=entries,
+        kind="testbed-campaign",
+        meta={
+            "engine": engine,
+            "seed": config.seed,
+            "group_sizes": list(config.group_sizes),
+            "rounds_per_leader": (
+                rounds_per_leader if engine == "batched" else None
+            ),
+        },
+    )
+
+
 def run_campaign(
     testbed: Testbed,
     estimator_factory: Optional[EstimatorFactory] = None,
@@ -349,6 +441,9 @@ def run_campaign(
     executor: str = "auto",
     store=None,
     resume: bool = True,
+    manifest=None,
+    lease_timeout: Optional[float] = None,
+    poll_interval: float = 0.05,
 ) -> CampaignResult:
     """Run the full campaign across group sizes and placements.
 
@@ -383,6 +478,19 @@ def run_campaign(
             :class:`CampaignResult` is bit-identical to an
             uninterrupted run.  ``False`` re-runs everything and
             supersedes the stored records.
+        manifest: a sweep name (or a :class:`~repro.store.SweepManifest`)
+            to drain through the crash-safe work queue instead of the
+            private resume path — requires a store.  The campaign's
+            work list is saved as the named manifest (or validated
+            against the existing one), and this call becomes one
+            *worker* of the sweep: any number of concurrent callers on
+            one host or a shared filesystem drain it together, dead
+            workers' leases expire and are reclaimed, and every caller
+            returns the complete result, bit-identical to a serial run.
+            Completion is judged by the store's shards, so manifest
+            mode rejects ``resume=False``.
+        lease_timeout / poll_interval: work-queue tuning for manifest
+            mode (see :class:`repro.store.WorkQueue`).
     """
     if engine not in ("packet", "batched"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -417,27 +525,7 @@ def run_campaign(
             config=config,
             rounds_per_leader=rounds_per_leader,
         )
-    sample_rng = np.random.default_rng(config.seed)
-    blocked = set(config.eve_extra_cells)
-    work: list = []
-    for n in config.group_sizes:
-        if config.max_placements_per_n is None:
-            placements: Sequence[Placement] = list(enumerate_placements(n))
-        else:
-            placements = sample_placements(
-                n, config.max_placements_per_n, sample_rng
-            )
-        work.extend(
-            (n, placement)
-            for placement in placements
-            if blocked.isdisjoint(placement.terminal_cells)
-        )
-
-    def placement_label(placement: Placement) -> str:
-        return (
-            f"placement(n={placement.n_terminals}, "
-            f"eve={placement.eve_cell}, cells={placement.terminal_cells})"
-        )
+    work = campaign_work_items(config)
 
     estimator_identity = (
         estimator_spec if engine == "batched" else estimator_factory
@@ -447,6 +535,102 @@ def run_campaign(
         return experiment_store_key(
             testbed, config, engine, estimator_identity, placement,
             rounds_per_leader,
+        )
+
+    if manifest is not None:
+        # Multi-host sweep mode: this call is one worker of a named
+        # sweep.  Claim pending experiments through the lease queue,
+        # run each claimed batch through shard_map (persisting via the
+        # on_result hook the moment each worker finishes), release,
+        # and poll until every manifest key has a complete record —
+        # peers' records arrive through the store, dead peers' leases
+        # come back through expiry.
+        if store is None:
+            raise ValueError("manifest mode needs a store")
+        if not resume:
+            raise ValueError(
+                "manifest mode judges completion by the store's shards and "
+                "cannot re-run finished work; resume=False is incompatible "
+                "(re-run a changed campaign under a new manifest name, or "
+                "delete the shards)"
+            )
+        from repro.store.manifest import SweepManifest
+        from repro.store.queue import (
+            DEFAULT_LEASE_TIMEOUT,
+            WorkQueue,
+            drain_manifest,
+        )
+        from repro.store.records import experiment_record_from_json
+
+        built = campaign_sweep_manifest(
+            testbed,
+            manifest if isinstance(manifest, str) else manifest.name,
+            config=config,
+            engine=engine,
+            estimator_factory=estimator_factory,
+            estimator_spec=estimator_spec,
+            rounds_per_leader=rounds_per_leader,
+        )
+        if isinstance(manifest, SweepManifest) and manifest.keys() != built.keys():
+            raise ValueError(
+                f"manifest {manifest.name!r} does not describe this "
+                "campaign's work (different testbed/config/engine/"
+                "estimator?)"
+            )
+        existing = SweepManifest.load(store, built.name, missing_ok=True)
+        if existing is not None and existing.keys() != built.keys():
+            raise ValueError(
+                f"manifest {built.name!r} already describes a different "
+                "sweep; use a new name"
+            )
+        sweep = existing if existing is not None else built.save(store)
+
+        from repro.store.records import experiment_record_to_json
+
+        # The manifest already carries every shard key in work order —
+        # reuse it everywhere below instead of recomputing a single
+        # content hash.
+        work_keys = sweep.keys()
+        by_key = dict(zip(work_keys, work))
+        key_of = {placement: key for key, (_, placement) in by_key.items()}
+
+        def persist_record(placement: Placement, record: ExperimentRecord) -> None:
+            store.append(key_of[placement], experiment_record_to_json(record))
+
+        def run_keys(keys) -> None:
+            batch = [by_key[key] for key in keys]
+            if progress is not None:
+                for n, placement in batch:
+                    progress(n, placement)
+            shard_map(
+                run_one,
+                [placement for _, placement in batch],
+                max_workers=max_workers,
+                executor=executor,
+                label=placement_label,
+                on_result=lambda placement, record: persist_record(
+                    placement, record
+                ),
+            )
+
+        queue = WorkQueue(
+            store,
+            sweep,
+            lease_timeout=(
+                DEFAULT_LEASE_TIMEOUT if lease_timeout is None else lease_timeout
+            ),
+        )
+        drain_manifest(
+            queue,
+            run_keys,
+            batch_size=max(1, max_workers or 1),
+            poll_interval=poll_interval,
+        )
+        return CampaignResult(
+            records=[
+                experiment_record_from_json(store.load(key))
+                for key in work_keys
+            ]
         )
 
     # Checkpoint/resume: load finished experiments from the store, run

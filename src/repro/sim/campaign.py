@@ -78,7 +78,34 @@ class ShardWorkerError(RuntimeError):
     exception otherwise surfaces as a bare pickled traceback with no
     clue about the cell that produced it.  The original exception is
     chained as ``__cause__``.
+
+    Checkpoint-hook failures get the same treatment on every path
+    (serial included): an ``on_result`` callback that raises — a full
+    disk mid-append, a store on a vanished mount — re-raises as a
+    :class:`ShardWorkerError` naming the item whose checkpoint was
+    being written.  ``BaseException`` kills (``KeyboardInterrupt``)
+    still propagate raw.
     """
+
+
+def _checkpoint(on_result, item, result, label) -> None:
+    """Invoke the ``on_result`` hook, labelling any failure's item.
+
+    A raising checkpoint hook used to surface as a bare exception with
+    no clue which item's persist failed; it now re-raises as
+    :class:`ShardWorkerError` carrying the item's label, exactly like
+    worker failures.  Only :class:`Exception` is wrapped — a
+    ``KeyboardInterrupt`` landing inside a hook is a kill, not a
+    checkpoint failure, and must propagate untouched.
+    """
+    try:
+        on_result(item, result)
+    except Exception as exc:
+        name = label(item) if label is not None else repr(item)
+        raise ShardWorkerError(
+            f"shard_map on_result hook failed on {name}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def _resolve_executor(executor: str, n_items: int) -> str:
@@ -128,7 +155,11 @@ def shard_map(
             always invoked in the *caller's* process as each item
             completes — in completion order on pooled paths, item order
             serially.  Campaign runners persist results through it, so
-            a kill mid-map loses only unfinished items.
+            a kill mid-map loses only unfinished items.  A hook that
+            raises an :class:`Exception` re-raises as
+            :class:`ShardWorkerError` naming the item (on the serial
+            path and both pool kinds alike); ``BaseException`` kills
+            propagate raw.
     """
     items = list(items)
     executor = _resolve_executor(executor, len(items))
@@ -137,7 +168,7 @@ def shard_map(
         for item in items:
             result = fn(item)
             if on_result is not None:
-                on_result(item, result)
+                _checkpoint(on_result, item, result, label)
             results.append(result)
         return results
     pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
@@ -163,7 +194,7 @@ def shard_map(
                         f"{type(exc).__name__}: {exc}"
                     ) from exc
                 if on_result is not None:
-                    on_result(items[index], results[index])
+                    _checkpoint(on_result, items[index], results[index], label)
         except BaseException:
             for pending in futures:
                 pending.cancel()
@@ -350,10 +381,178 @@ class CampaignRunner:
             entropy=self.seed, spawn_key=fingerprint_spawn_key(scenario)
         )
 
+    # -- manifests and the multi-host worker loop -------------------------
+
+    def build_manifest(self, grid, name: str):
+        """Describe ``grid`` as a :class:`~repro.store.SweepManifest`.
+
+        One entry per cell, in grid order: the cell's content-hashed
+        shard key, its encoded :class:`~repro.sim.spec.Scenario` (so a
+        worker can rebuild the cell without the grid code), and its
+        label.  The manifest is built, not saved — use
+        :meth:`write_manifest` to persist it next to the shards.
+        """
+        from repro.store.manifest import ManifestEntry, SweepManifest
+        from repro.store.records import encode_spec
+
+        if isinstance(grid, ScenarioGrid):
+            cells: Sequence[Scenario] = grid.scenarios()
+        else:
+            cells = list(grid)
+        entries = tuple(
+            ManifestEntry(
+                key=self.cell_key(scenario),
+                spec=encode_spec(scenario),
+                label=scenario.label(),
+            )
+            for scenario in cells
+        )
+        return SweepManifest(
+            name=name,
+            entries=entries,
+            kind="sim-grid",
+            meta={"seed": self.seed},
+        )
+
+    def write_manifest(self, grid, name: str):
+        """Build the grid's manifest and atomically save it to the store.
+
+        Refuses to redefine an existing manifest of the same name with
+        different work — concurrent workers must agree on what the
+        sweep *is*; pick a new name when the grid genuinely changes.
+        """
+        if self.store is None:
+            raise ValueError("write_manifest needs a store")
+        from repro.store.manifest import SweepManifest
+
+        built = self.build_manifest(grid, name)
+        existing = SweepManifest.load(self.store, name, missing_ok=True)
+        if existing is not None and not existing.content_equal(built):
+            raise ValueError(
+                f"manifest {name!r} already describes a different sweep "
+                f"({len(existing)} item(s), seed "
+                f"{existing.meta.get('seed')!r}); use a new name"
+            )
+        return built.save(self.store)
+
+    def run_worker(
+        self,
+        manifest,
+        progress: Optional[Callable[[Scenario], None]] = None,
+        lease_timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        owner: Optional[str] = None,
+    ) -> SimCampaignResult:
+        """Drain a manifest as one worker of a (possibly multi-host) sweep.
+
+        The worker loop: claim up to ``max_workers`` pending cells via
+        the :class:`~repro.store.WorkQueue` (``O_EXCL`` leases; expired
+        leases of dead workers are reclaimed), run them through
+        :func:`shard_map`, persist each outcome the moment its worker
+        finishes (the ``on_result`` hook), release the leases, repeat.
+        Cells claimed by live peers are awaited — their records appear
+        in the store — so every concurrent caller returns the complete
+        :class:`SimCampaignResult`, assembled in manifest order and
+        bit-identical to a serial :meth:`run` of the same grid.
+
+        Args:
+            manifest: a :class:`~repro.store.SweepManifest` or the name
+                of one saved in the store.  Cells are decoded from the
+                manifest entries, so a worker process needs nothing but
+                the store directory, the manifest name, and the
+                campaign seed.
+            progress: invoked with each Scenario this worker claims.
+            lease_timeout: seconds after which a silent peer's lease is
+                reclaimed (default
+                :data:`repro.store.queue.DEFAULT_LEASE_TIMEOUT`).
+            poll_interval: sleep between drain passes while awaiting
+                peers.
+            owner: worker identity for lease files (defaults to a
+                unique host:pid:nonce id).
+        """
+        if self.store is None:
+            raise ValueError("run_worker needs a store")
+        from repro.store.manifest import SweepManifest
+        from repro.store.queue import (
+            DEFAULT_LEASE_TIMEOUT,
+            WorkQueue,
+            drain_manifest,
+        )
+        from repro.store.records import (
+            decode_spec,
+            scenario_outcome_from_json,
+            scenario_outcome_to_json,
+        )
+
+        if isinstance(manifest, str):
+            manifest = SweepManifest.load(self.store, manifest)
+        if manifest.kind != "sim-grid":
+            raise ValueError(
+                f"manifest {manifest.name!r} holds {manifest.kind!r} work, "
+                "not sim-grid cells"
+            )
+        scenarios: dict = {}
+        for entry in manifest:
+            scenario = decode_spec(entry.spec)
+            if self.cell_key(scenario) != entry.key:
+                raise ValueError(
+                    f"manifest {manifest.name!r} was built with a different "
+                    f"campaign seed or fingerprint scheme (entry "
+                    f"{entry.label or entry.key} does not re-key)"
+                )
+            scenarios[entry.key] = scenario
+        # The manifest (validated above) already maps every cell to its
+        # shard key; never recompute a fingerprint past this point.
+        key_of = {scenario: key for key, scenario in scenarios.items()}
+
+        def persist(item, outcome: ScenarioOutcome) -> None:
+            self.store.append(
+                key_of[outcome.scenario], scenario_outcome_to_json(outcome)
+            )
+
+        def run_keys(keys) -> None:
+            items = []
+            for key in keys:
+                if progress is not None:
+                    progress(scenarios[key])
+                seq = self.cell_seed_sequence(scenarios[key])
+                items.append((scenarios[key], seq.entropy, seq.spawn_key))
+            shard_map(
+                _run_scenario_cell,
+                items,
+                max_workers=self.max_workers,
+                executor=self.executor,
+                label=lambda item: item[0].label(),
+                on_result=persist,
+            )
+
+        queue = WorkQueue(
+            self.store,
+            manifest,
+            owner=owner,
+            lease_timeout=(
+                DEFAULT_LEASE_TIMEOUT if lease_timeout is None else lease_timeout
+            ),
+        )
+        drain_manifest(
+            queue,
+            run_keys,
+            batch_size=max(1, self.max_workers or 1),
+            poll_interval=poll_interval,
+        )
+        outcomes = []
+        for entry in manifest:
+            record = self.store.load(entry.key)
+            if record is None:  # pragma: no cover - drain guarantees done
+                raise RuntimeError(f"drained sweep missing shard {entry.key}")
+            outcomes.append(scenario_outcome_from_json(record))
+        return SimCampaignResult(outcomes=outcomes)
+
     def run(
         self,
         grid,
         progress: Optional[Callable[[Scenario], None]] = None,
+        manifest: Optional[str] = None,
     ) -> SimCampaignResult:
         """Execute every cell of ``grid`` (a ScenarioGrid or an iterable
         of Scenarios); returns outcomes in cell order.
@@ -363,7 +562,24 @@ class CampaignRunner:
         complete; the outcome list is assembled in cell order from
         both, so an interrupted-then-resumed campaign is bit-identical
         to an uninterrupted one.
+
+        With ``manifest=`` (a name; requires a store), the grid is
+        first described as a saved :class:`~repro.store.SweepManifest`
+        and then drained through the work queue — any number of
+        concurrent callers (other processes, other hosts on a shared
+        filesystem) may drain the same manifest, and each returns the
+        same result a serial run would.
         """
+        if manifest is not None:
+            if not self.resume:
+                raise ValueError(
+                    "manifest mode judges completion by the store's shards "
+                    "and cannot re-run finished work; resume=False is "
+                    "incompatible (use a new manifest name or delete the "
+                    "shards)"
+                )
+            saved = self.write_manifest(grid, manifest)
+            return self.run_worker(saved, progress=progress)
         if isinstance(grid, ScenarioGrid):
             cells: Sequence[Scenario] = grid.scenarios()
         else:
@@ -439,6 +655,7 @@ def run_sim_campaign(
     executor: str = "auto",
     store=None,
     resume: bool = True,
+    manifest: Optional[str] = None,
 ) -> SimCampaignResult:
     """Convenience wrapper: ``CampaignRunner(...).run(grid)``."""
     return CampaignRunner(
@@ -447,4 +664,4 @@ def run_sim_campaign(
         executor=executor,
         store=store,
         resume=resume,
-    ).run(grid, progress=progress)
+    ).run(grid, progress=progress, manifest=manifest)

@@ -16,6 +16,14 @@ package removes that ceiling with three small pieces:
   flavours (testbed :class:`~repro.analysis.experiments.ExperimentRecord`
   lines and sim :class:`~repro.sim.campaign.ScenarioOutcome` lines),
   including the NaN-reliability convention for zero-secret experiments.
+* :mod:`repro.store.manifest` — :class:`SweepManifest`: a named,
+  versioned, atomically-written document listing every work item of a
+  sweep with its shard key, so workers and aggregators can scope a
+  shared store to one sweep without recomputing fingerprints.
+* :mod:`repro.store.queue` — :class:`WorkQueue`: ``O_EXCL`` lease
+  files with heartbeat mtimes and expiry-based reclaim, so any number
+  of worker processes (one host or a shared filesystem) drain the same
+  manifest concurrently and crash-safely.
 
 Checkpoint/resume contract: runners compute each work item's
 fingerprint up front, skip items whose shard already holds a complete
@@ -29,6 +37,17 @@ from repro.store.fingerprint import (
     canonical_json,
     fingerprint,
     fingerprint_spawn_key,
+)
+from repro.store.manifest import (
+    ManifestEntry,
+    SweepManifest,
+    list_manifests,
+)
+from repro.store.queue import (
+    LeaseInfo,
+    QueueStatus,
+    WorkQueue,
+    default_owner,
 )
 from repro.store.records import (
     decode_spec,
@@ -47,6 +66,13 @@ __all__ = [
     "canonical_json",
     "fingerprint",
     "fingerprint_spawn_key",
+    "ManifestEntry",
+    "SweepManifest",
+    "list_manifests",
+    "LeaseInfo",
+    "QueueStatus",
+    "WorkQueue",
+    "default_owner",
     "encode_value",
     "decode_value",
     "encode_spec",

@@ -35,6 +35,7 @@ from repro.analysis.stats import (
     ReliabilitySummary,
     ValueCountAccumulator,
 )
+from repro.store.manifest import SweepManifest
 from repro.store.records import decode_value
 from repro.store.store import CampaignStore
 
@@ -85,7 +86,9 @@ def _fold_record(record: dict, groups: Dict[int, GroupAggregates]) -> None:
 
 
 def stream_aggregates(
-    store: CampaignStore, keys: Optional[Iterable[str]] = None
+    store: CampaignStore,
+    keys: Optional[Iterable[str]] = None,
+    manifest=None,
 ) -> Dict[int, GroupAggregates]:
     """Fold a store's records into per-group-size aggregates.
 
@@ -94,13 +97,25 @@ def stream_aggregates(
         keys: shard keys to aggregate over — pass the campaign's own
             key list to scope a shared store to one sweep; defaults to
             every shard.
+        manifest: a :class:`~repro.store.manifest.SweepManifest` (or
+            the name of one saved in the store) whose key list scopes
+            the aggregation — the manifest already carries every shard
+            key, so no fingerprint is recomputed from specs.  Mutually
+            exclusive with ``keys``.
 
     Returns:
         ``{n_terminals: GroupAggregates}``, computed one record at a
         time.  Because the accumulators are order-independent
         multisets, the result is bit-identical however the campaign
-        was produced — serial, sharded, or interrupted and resumed.
+        was produced — serial, sharded, interrupted-and-resumed, or
+        drained by many queue workers.
     """
+    if manifest is not None:
+        if keys is not None:
+            raise ValueError("pass keys or manifest, not both")
+        if isinstance(manifest, str):
+            manifest = SweepManifest.load(store, manifest)
+        keys = manifest.keys()
     groups: Dict[int, GroupAggregates] = {}
     for record in store.stream(keys):
         _fold_record(record, groups)

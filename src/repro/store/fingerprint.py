@@ -13,7 +13,8 @@ testbed experiment — so that
 
 Canonicalisation rules: dataclasses serialise as ``{"__dataclass__":
 ClassName, fields...}``, mappings sort their keys, tuples and lists
-flatten to JSON arrays, non-finite floats become tagged sentinels
+flatten to JSON arrays, numpy scalars collapse to their Python
+spellings, non-finite floats become tagged sentinels
 (strict JSON has no ``NaN``), and callables — estimator factories —
 serialise as their dotted qualname plus their instance attributes
 (a factory's behaviour lives in its code identity and configuration,
@@ -35,6 +36,8 @@ import json
 import math
 from typing import Any, Tuple
 
+import numpy as np
+
 __all__ = ["canonical_json", "fingerprint", "fingerprint_spawn_key"]
 
 
@@ -50,6 +53,17 @@ def _encode(obj: Any) -> Any:
         return {str(k): _encode(v) for k, v in sorted(obj.items())}
     if isinstance(obj, (list, tuple)):
         return [_encode(v) for v in obj]
+    # Numpy scalar spellings of a value fingerprint like the Python
+    # spelling: a spec built with np.int64 group sizes or np.float32
+    # loss rates is the *same spec* (the float32 case still hashes the
+    # exact float64 value it widens to — a genuinely different number
+    # stays a different key).
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        obj = float(obj)
     if isinstance(obj, float):
         if math.isnan(obj):
             return {"__float__": "nan"}

@@ -1,0 +1,419 @@
+"""Crash-safe filesystem work queue over the campaign store.
+
+Any number of worker processes — on one host, or on many hosts sharing
+a filesystem — drain the same :class:`~repro.store.manifest.SweepManifest`
+concurrently through a :class:`WorkQueue`.  The queue is three small
+mechanisms, each chosen so that *no* failure mode can lose or corrupt
+work:
+
+* **Atomic claims.**  A claim is an ``O_CREAT | O_EXCL`` lease file
+  (``store-root/leases/<manifest>/<key>.lease``) carrying the owner id.
+  ``O_EXCL`` makes creation a test-and-set: exactly one racing worker
+  wins a fresh claim, with no lock server and no shared state beyond
+  the filesystem.
+* **Heartbeats + expiry reclaim.**  A live worker refreshes its leases'
+  mtimes (:meth:`WorkQueue.heartbeat`); a lease whose mtime is older
+  than ``lease_timeout`` belonged to a dead worker and may be broken.
+  Breaking is itself race-safe: a breaker must first win an ``O_EXCL``
+  *breaker lock* (``<key>.lease.break``), re-verify expiry while
+  holding it (the lease might have been broken and freshly re-claimed
+  in the meantime), unlink the dead lease, drop the lock, and then
+  compete for a fresh ``O_EXCL`` claim like everyone else — so a stale
+  stat of the *lease* can never kill a live peer's lease, and exactly
+  one racer wins the reclaimed key.  (Sweeping an *orphaned breaker
+  lock* is advisory — see :meth:`WorkQueue._break_stale_lease`; in a
+  pathological interleaving it can duplicate an item run, which the
+  idempotent-completion rule below makes harmless.)
+* **Idempotent completion.**  *Done* means "the item's shard holds a
+  complete record" — the store's fsynced, last-record-wins JSONL line
+  is the completion marker, not the lease.  If a lease expires while
+  its worker is merely slow (not dead), two workers may run the same
+  item; both append bit-identical records (results are pure functions
+  of (seed, spec) — see :mod:`repro.store.fingerprint`), and the reader
+  dedupes.  Duplicated work is wasted wall-clock, never wrong results.
+
+The lease directory is advisory state: deleting it entirely merely
+forgets in-flight claims (finished work lives in the shards), so no
+fsync discipline is needed on lease files.
+
+Lifecycle of one item::
+
+    pending ──claim (O_EXCL)──▶ claimed ──run──▶ persist (store.append)
+       ▲                          │                     │
+       │                          │ worker dies         ▼
+       └── lease expires ◀────────┘              release (unlink lease)
+
+Workers poll :meth:`WorkQueue.claim_pending` until
+:meth:`WorkQueue.pending` is empty; items claimed by live peers are
+simply awaited (their records appear in the store), and items leased by
+dead peers come back via expiry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.store.manifest import SweepManifest
+
+__all__ = [
+    "LeaseInfo",
+    "QueueStatus",
+    "WorkQueue",
+    "default_owner",
+    "drain_manifest",
+]
+
+#: Default lease expiry. Generous on purpose: expiry only matters after
+#: a worker *dies*, and a too-short timeout makes two live workers
+#: duplicate (harmless but wasted) work.  Workers running long items
+#: should heartbeat well inside this.
+DEFAULT_LEASE_TIMEOUT = 600.0
+
+
+def default_owner() -> str:
+    """A globally unique worker identity: host, pid, and a nonce.
+
+    The nonce matters: pids recycle, and an owner id that survives a
+    worker's death and rebirth would let the reborn worker mistake its
+    predecessor's stale leases for its own.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """A point-in-time view of one lease file."""
+
+    key: str
+    owner: Optional[str]  # None when the file was unreadable (mid-write)
+    age: float  # seconds since the last heartbeat (mtime)
+    expired: bool
+
+
+@dataclass(frozen=True)
+class QueueStatus:
+    """Sweep progress: every manifest key is in exactly one bucket."""
+
+    total: int
+    done: int  # shard holds a complete record
+    claimed: int  # live lease, no record yet
+    stale: int  # expired lease (worker presumed dead), no record yet
+    pending: int  # no record, no lease
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+class WorkQueue:
+    """Lease-based claim/release over one manifest's shard keys.
+
+    Args:
+        store: the :class:`~repro.store.store.CampaignStore` the sweep
+            persists into (completion is judged by its shards).
+        manifest: the sweep to drain — a
+            :class:`~repro.store.manifest.SweepManifest`, or a name to
+            load from the store.
+        owner: worker identity written into lease files; defaults to
+            :func:`default_owner`.
+        lease_timeout: seconds without a heartbeat after which a lease
+            counts as abandoned and may be reclaimed.
+    """
+
+    def __init__(
+        self,
+        store,
+        manifest,
+        owner: Optional[str] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    ) -> None:
+        if isinstance(manifest, str):
+            manifest = SweepManifest.load(store, manifest)
+        if not isinstance(manifest, SweepManifest):
+            raise TypeError(f"{manifest!r} is not a SweepManifest")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.store = store
+        self.manifest = manifest
+        self.owner = owner if owner is not None else default_owner()
+        self.lease_timeout = float(lease_timeout)
+        self.lease_dir = Path(store.root) / "leases" / manifest.name
+        self._known = set(manifest.keys())
+        # The store is append-only and records never un-complete, so
+        # "done" is monotone — cache it to keep the polling loop from
+        # re-parsing finished shards on every pass.
+        self._done_cache: set = set()
+
+    # -- paths and parsing --------------------------------------------------
+
+    def _lease_path(self, key: str) -> Path:
+        if key not in self._known:
+            raise KeyError(f"{key!r} is not in manifest {self.manifest.name!r}")
+        return self.lease_dir / f"{key}.lease"
+
+    def _read_owner(self, path: Path) -> Optional[str]:
+        """The lease's owner, or None when unreadable (torn mid-write)."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return str(data["owner"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def lease_info(self, key: str) -> Optional[LeaseInfo]:
+        """The key's current lease, or None when unleased."""
+        path = self._lease_path(key)
+        try:
+            st = path.stat()
+        except FileNotFoundError:
+            return None
+        age = max(0.0, time.time() - st.st_mtime)
+        return LeaseInfo(
+            key=key,
+            owner=self._read_owner(path),
+            age=age,
+            expired=age >= self.lease_timeout,
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def is_done(self, key: str) -> bool:
+        """Done = the store holds a complete record for the key."""
+        if key in self._done_cache:
+            return True
+        if self.store.load(key) is not None:
+            self._done_cache.add(key)
+            return True
+        return False
+
+    def pending(self) -> List[str]:
+        """Manifest keys with no complete record yet, in sweep order
+        (claimed-by-someone keys included: they are not *done*)."""
+        return [key for key in self.manifest.keys() if not self.is_done(key)]
+
+    # -- claim / heartbeat / release ------------------------------------------
+
+    def _expired(self, st) -> bool:
+        return time.time() - st.st_mtime >= self.lease_timeout
+
+    def _break_stale_lease(self, path: Path) -> None:
+        """Unlink an expired lease under the key's breaker lock.
+
+        The lock closes the ordinary stat-then-act race: between
+        *observing* an expired lease and *removing* it, another racer
+        may have already broken it and a third may hold a fresh claim
+        at the same path — so expiry is re-verified while holding the
+        ``O_EXCL`` breaker lock, and a fresh lease is left alone.
+
+        A breaker lock whose holder died mid-break is itself expired
+        state; it is swept after a fresh re-stat immediately before the
+        unlink.  That sweep is advisory, not watertight: filesystem
+        path locks cannot compare-and-swap on identity, so a sweeper
+        stalled between its stat and its unlink can, in a pathological
+        interleaving, remove a just-created breaker and briefly let two
+        breakers coexist.  The system's *correctness* never rests on
+        breaker exclusivity — the worst outcome is a duplicated,
+        idempotent item run (see the module docstring) — exclusivity
+        here only keeps the common paths from duplicating work.
+        """
+        brk = path.with_name(f"{path.name}.break")
+        try:
+            fd = os.open(brk, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                # An orphan is at least lease_timeout old, a live
+                # breaker microseconds old — stat right before acting.
+                if self._expired(brk.stat()):
+                    brk.unlink(missing_ok=True)
+            except FileNotFoundError:
+                pass
+            return
+        os.close(fd)
+        try:
+            try:
+                st = path.stat()
+            except FileNotFoundError:
+                return  # released or already broken
+            if self._expired(st):
+                path.unlink(missing_ok=True)
+        finally:
+            brk.unlink(missing_ok=True)
+
+    def claim(self, key: str) -> bool:
+        """Try to take the key's lease; True iff this worker now holds it.
+
+        Fresh keys are claimed with ``O_CREAT | O_EXCL`` (exactly one
+        racer wins).  A key whose lease has outlived ``lease_timeout``
+        is first *broken* under the key's breaker lock (see
+        :meth:`_break_stale_lease`) and then competed for like a fresh
+        key.  Keys already done are never claimed.
+        """
+        if self.is_done(key):
+            return False
+        path = self._lease_path(key)
+        # Created on first claim, not at construction: read-only views
+        # (status reports on a finished or foreign store) must never
+        # mutate the store directory.
+        self.lease_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"owner": self.owner, "claimed_at": time.time()},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        for _ in range(3):  # create, maybe break a stale lease, re-create
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                pass
+            else:
+                try:
+                    os.write(fd, payload)
+                finally:
+                    os.close(fd)
+                return True
+            try:
+                st = path.stat()
+            except FileNotFoundError:
+                continue  # released under us; retry the fresh claim
+            if not self._expired(st):
+                return False  # live lease held by a peer
+            self._break_stale_lease(path)
+        return False
+
+    def claim_pending(self, limit: Optional[int] = None) -> List[str]:
+        """Claim up to ``limit`` not-yet-done keys, in sweep order.
+
+        One pass over the manifest: keys already done are skipped, keys
+        leased by live peers are left alone, fresh/expired keys are
+        claimed.  Returns the keys now held by this worker.
+        """
+        claimed: List[str] = []
+        for key in self.manifest.keys():
+            if limit is not None and len(claimed) >= limit:
+                break
+            if self.claim(key):
+                claimed.append(key)
+        return claimed
+
+    def heartbeat(self, key: str) -> bool:
+        """Refresh the key's lease mtime iff this worker owns it."""
+        path = self._lease_path(key)
+        if self._read_owner(path) != self.owner:
+            return False
+        try:
+            os.utime(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def heartbeat_all(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            self.heartbeat(key)
+
+    def release(self, key: str) -> bool:
+        """Drop the key's lease iff this worker owns it.
+
+        Safe to call after completion *or* on abandon: completion is
+        judged by the shard, so releasing an unfinished item simply
+        returns it to the pending pool.
+        """
+        path = self._lease_path(key)
+        if self._read_owner(path) != self.owner:
+            return False
+        path.unlink(missing_ok=True)
+        return True
+
+    # -- status ---------------------------------------------------------------
+
+    def status(self) -> QueueStatus:
+        """Count every manifest key into done/claimed/stale/pending."""
+        done = claimed = stale = pending = 0
+        for key in self.manifest.keys():
+            if self.is_done(key):
+                done += 1  # leftover lease files on done keys are noise
+                continue
+            lease = self.lease_info(key)
+            if lease is None:
+                pending += 1
+            elif lease.expired:
+                stale += 1
+            else:
+                claimed += 1
+        return QueueStatus(
+            total=len(self.manifest),
+            done=done,
+            claimed=claimed,
+            stale=stale,
+            pending=pending,
+        )
+
+    def leases(self) -> Dict[str, LeaseInfo]:
+        """Every currently leased key's lease, keyed by shard key."""
+        infos = {}
+        for key in self.manifest.keys():
+            info = self.lease_info(key)
+            if info is not None:
+                infos[key] = info
+        return infos
+
+
+def drain_manifest(
+    queue: WorkQueue,
+    run_keys,
+    batch_size: int = 1,
+    poll_interval: float = 0.05,
+) -> List[str]:
+    """The worker loop: claim → run → release until the sweep is done.
+
+    Repeatedly claims up to ``batch_size`` keys and hands them to
+    ``run_keys(keys)``, which must *persist* each finished item into
+    the queue's store (the runners route this through ``shard_map``'s
+    ``on_result`` hook, so each record lands the moment its worker
+    finishes).  While a batch runs, a background thread refreshes the
+    claimed leases' mtimes every ``lease_timeout / 3`` seconds, so a
+    *live* worker's leases never expire however long its items take —
+    expiry reclaims stay reserved for workers that actually died.
+    Leases are released after every batch whatever happened —
+    completion is judged by the shards, so releasing an unfinished
+    item just returns it to the pool.
+
+    When nothing is claimable but work remains, the loop polls: keys
+    leased by live peers complete remotely (their records appear in
+    the store), and keys leased by dead peers come back through lease
+    expiry.  The loop therefore terminates exactly when every manifest
+    key has a complete record.
+
+    Returns the keys this worker claimed and ran, in claim order.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ran: List[str] = []
+    while True:
+        claimed = queue.claim_pending(limit=batch_size)
+        if claimed:
+            stop = threading.Event()
+
+            def heartbeat_loop(keys=tuple(claimed)) -> None:
+                while not stop.wait(queue.lease_timeout / 3.0):
+                    queue.heartbeat_all(keys)
+
+            beater = threading.Thread(target=heartbeat_loop, daemon=True)
+            beater.start()
+            try:
+                run_keys(claimed)
+            finally:
+                stop.set()
+                beater.join()
+                for key in claimed:
+                    queue.release(key)
+            ran.extend(claimed)
+            continue
+        if not queue.pending():
+            return ran
+        time.sleep(poll_interval)

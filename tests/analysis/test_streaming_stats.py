@@ -1,9 +1,21 @@
-"""Streaming accumulators vs the materialised statistics they replace."""
+"""Streaming accumulators vs the materialised statistics they replace.
+
+The example-based classes at the top pin concrete behaviours; the
+hypothesis classes at the bottom pin the *merge algebra* the multi-host
+sweep layer leans on — merge must be associative and order-independent
+against the batch computation (exactly for the count-based
+accumulators, within floating-point tolerance for the moments),
+whatever partition of the observations each queue worker happened to
+produce, NaN zero-secret sentinels included.
+"""
 
 import math
+import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.stats import (
     ReliabilityAccumulator,
@@ -163,3 +175,143 @@ class TestReliabilityAccumulator:
         assert a.n_experiments == 2
         assert a.n_excluded == 3
         assert a.summary(3).minimum == 0.5
+
+
+# -- the merge algebra (hypothesis) ----------------------------------------
+
+#: Reliability-shaped observations: mostly a spike at 1.0 with a short
+#: rounded tail (heavy duplication, like real campaigns), plus raw
+#: floats so the properties are not an artefact of rounding.
+observations = st.lists(
+    st.one_of(
+        st.just(1.0),
+        st.floats(min_value=0.0, max_value=1.0).map(lambda v: round(v, 2)),
+        st.floats(min_value=-1e6, max_value=1e6),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+#: The same, with NaN zero-secret sentinels sprinkled in.
+observations_with_nan = st.lists(
+    st.one_of(
+        st.just(float("nan")),
+        st.just(1.0),
+        st.floats(min_value=0.0, max_value=1.0).map(lambda v: round(v, 2)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+partition_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def shuffled_chunks(values, seed, accumulate):
+    """Partition a shuffled copy of ``values`` into random-size chunks
+    and return one accumulator per chunk — one simulated queue worker's
+    share of the sweep each."""
+    rng = random.Random(seed)
+    values = list(values)
+    rng.shuffle(values)
+    chunks = []
+    start = 0
+    while start < len(values):
+        size = rng.randint(1, max(1, len(values) - start))
+        chunks.append(values[start : start + size])
+        start += size
+    parts = []
+    for chunk in chunks:
+        part = accumulate()
+        part.extend(chunk)
+        parts.append(part)
+    return parts
+
+
+def merge_in_tree_order(parts, seed, accumulate):
+    """Fold the parts pairwise in a random binary-tree order, so the
+    associativity claim is exercised, not just left-folding."""
+    rng = random.Random(seed)
+    forest = list(parts)
+    while len(forest) > 1:
+        i = rng.randrange(len(forest) - 1)
+        left = forest.pop(i)
+        right = forest.pop(i)
+        combined = accumulate()
+        combined.merge(left)
+        combined.merge(right)
+        forest.insert(i, combined)
+    return forest[0]
+
+
+class TestMomentsMergeAlgebra:
+    @given(values=observations, seed=partition_seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_matches_batch_within_tolerance(self, values, seed):
+        parts = shuffled_chunks(values, seed, StreamingMoments)
+        merged = merge_in_tree_order(parts, seed + 1, StreamingMoments)
+        assert merged.count == len(values)
+        assert merged.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(
+            float(np.var(values)), rel=1e-6, abs=1e-9
+        )
+        assert merged.minimum == min(values)
+        assert merged.maximum == max(values)
+
+    @given(values=observations, seed=partition_seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_two_merge_orders_agree(self, values, seed):
+        parts_a = shuffled_chunks(values, seed, StreamingMoments)
+        parts_b = shuffled_chunks(values, seed + 7, StreamingMoments)
+        a = merge_in_tree_order(parts_a, seed + 1, StreamingMoments)
+        b = merge_in_tree_order(parts_b, seed + 2, StreamingMoments)
+        assert a.count == b.count
+        assert a.mean == pytest.approx(b.mean, rel=1e-9, abs=1e-12)
+        assert a.m2 == pytest.approx(b.m2, rel=1e-6, abs=1e-9)
+        assert (a.minimum, a.maximum) == (b.minimum, b.maximum)
+
+
+class TestCountMergeAlgebraIsExact:
+    @given(values=observations, seed=partition_seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_any_partition_any_order_is_bit_identical(self, values, seed):
+        """The store contract, as algebra: whatever partition of the
+        sweep the workers produced and whatever order the shards merge
+        in, every finalised statistic is *identical* to the batch
+        computation — not approximately equal."""
+        reference = ValueCountAccumulator()
+        reference.extend(values)
+        parts = shuffled_chunks(values, seed, ValueCountAccumulator)
+        merged = merge_in_tree_order(parts, seed + 1, ValueCountAccumulator)
+        assert merged.counts == reference.counts
+        assert merged.total == len(values)
+        assert merged.mean == reference.mean  # exact float equality
+        assert merged.minimum == min(values)
+        assert merged.maximum == max(values)
+        for fraction in (0.05, 0.5, 0.95, 1.0):
+            assert merged.best_fraction_minimum(
+                fraction
+            ) == best_fraction_minimum(values, fraction)
+
+    @given(values=observations_with_nan, seed=partition_seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_reliability_merge_with_nan_sentinels_is_exact(self, values, seed):
+        """NaN zero-secret sentinels ride the merge algebra too: the
+        exclusion count is conserved across any partition, and the
+        summary equals the batch computation over the non-NaN kept
+        population."""
+        kept = [v for v in values if not math.isnan(v)]
+        parts = shuffled_chunks(values, seed, ReliabilityAccumulator)
+        merged = merge_in_tree_order(parts, seed + 1, ReliabilityAccumulator)
+        assert merged.n_excluded == len(values) - len(kept)
+        assert merged.n_experiments == len(kept)
+        if not kept:
+            with pytest.raises(ValueError, match="at least one experiment"):
+                merged.summary(4)
+            return
+        reference = summarize_reliability(4, kept)
+        streamed = merged.summary(4)
+        assert streamed.minimum == reference.minimum
+        assert streamed.p95 == reference.p95
+        assert streamed.median == reference.median
+        assert streamed.n_experiments == reference.n_experiments
+        assert streamed.mean == pytest.approx(reference.mean, rel=1e-12)

@@ -177,3 +177,59 @@ class TestShardMapErrors:
         assert shard_map(
             lambda x: x * 2, items, max_workers=3
         ) == [x * 2 for x in items]
+
+
+def _double(item):
+    """Module-level worker (process pools must pickle it)."""
+    return item * 2
+
+
+def _exploding_hook(item, result):
+    if item == 3:
+        raise OSError("disk full")
+
+
+class TestOnResultHookErrors:
+    """Satellite regression: a raising checkpoint hook must re-raise
+    tagged with the failing item's label — like worker failures — on
+    the serial path and both pool kinds.  (Before the fix, the hook's
+    exception surfaced bare, with no clue which item's persist died.)"""
+
+    @pytest.mark.parametrize(
+        "pool_kwargs",
+        [
+            dict(max_workers=None),  # serial path
+            dict(max_workers=2, executor="thread"),
+            dict(max_workers=2, executor="process"),
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_hook_failure_names_item_on_every_path(self, pool_kwargs):
+        with pytest.raises(
+            ShardWorkerError, match=r"on_result hook failed on cell-3.*disk full"
+        ) as excinfo:
+            shard_map(
+                _double,
+                [1, 2, 3, 4],
+                label=lambda item: f"cell-{item}",
+                on_result=_exploding_hook,
+                **pool_kwargs,
+            )
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_hook_failure_default_label_is_repr(self):
+        with pytest.raises(ShardWorkerError, match=r"hook failed on 3:"):
+            shard_map(_double, [3], on_result=_exploding_hook)
+
+    def test_keyboard_interrupt_in_hook_propagates_raw(self):
+        """A kill landing inside the hook is a kill, not a checkpoint
+        failure — the resume tests' DyingStore contract depends on it."""
+
+        def kill_hook(item, result):
+            raise KeyboardInterrupt("killed mid-checkpoint")
+
+        for pool_kwargs in (dict(max_workers=None), dict(max_workers=2)):
+            with pytest.raises(KeyboardInterrupt):
+                shard_map(
+                    _double, [1, 2, 3], on_result=kill_hook, **pool_kwargs
+                )

@@ -1,0 +1,212 @@
+"""Property tests for the content fingerprint (hypothesis).
+
+The fingerprint is the store's identity function: every shard key,
+every manifest entry, and every content-keyed RNG stream hangs off it.
+Three properties must hold over arbitrary spec-shaped data:
+
+* **Spelling invariance** — the digest sees *content*, not syntax:
+  dict key insertion order, tuple-vs-list sequence spelling, and numpy
+  scalar dtypes (``np.int64(3)`` vs ``3``, ``np.float64(.5)`` vs
+  ``.5``, ``np.bool_``) must all fingerprint identically, or a worker
+  that rebuilt a spec slightly differently would silently re-run (or
+  worse, re-seed) finished work.
+* **Distinctness** — specs with different content must not collide on
+  the sampled corpus (a canonicalisation that collapses two different
+  specs onto one key would make campaigns silently share shards).
+* **Spawn-key agreement** — ``fingerprint_spawn_key`` derives from the
+  same canonical bytes, so spelling invariance carries over to the RNG
+  streams.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import IIDLossSpec, Scenario
+from repro.store import canonical_json, fingerprint, fingerprint_spawn_key
+
+# -- spec-shaped data ------------------------------------------------------
+
+_INT64 = 2**62  # keep ints wrappable as np.int64 spellings
+
+leaves = st.one_of(
+    st.integers(min_value=-_INT64, max_value=_INT64),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.booleans(),
+    st.text(max_size=8),
+    st.none(),
+)
+
+trees = st.recursive(
+    leaves,
+    lambda child: st.one_of(
+        st.lists(child, max_size=4),
+        st.dictionaries(st.text(max_size=6), child, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+finite_leaves = st.one_of(
+    st.integers(min_value=-_INT64, max_value=_INT64),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(max_size=8),
+    st.none(),
+)
+
+finite_trees = st.recursive(
+    finite_leaves,
+    lambda child: st.one_of(
+        st.lists(child, max_size=4),
+        st.dictionaries(st.text(max_size=6), child, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+def reorder(tree, rng: random.Random):
+    """Deep copy with every dict's key *insertion order* shuffled."""
+    if isinstance(tree, dict):
+        keys = list(tree)
+        rng.shuffle(keys)
+        return {k: reorder(tree[k], rng) for k in keys}
+    if isinstance(tree, (list, tuple)):
+        return [reorder(v, rng) for v in tree]
+    return tree
+
+
+def tupleize(tree):
+    """Deep copy with every list respelled as a tuple."""
+    if isinstance(tree, dict):
+        return {k: tupleize(v) for k, v in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return tuple(tupleize(v) for v in tree)
+    return tree
+
+
+def numpify(tree, rng: random.Random):
+    """Deep copy with scalars respelled as numpy dtypes where legal."""
+    if isinstance(tree, dict):
+        return {k: numpify(v, rng) for k, v in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return [numpify(v, rng) for v in tree]
+    if isinstance(tree, bool):
+        return np.bool_(tree)
+    if isinstance(tree, int):
+        if -(2**31) <= tree < 2**31 and rng.random() < 0.5:
+            return np.int32(tree)
+        return np.int64(tree)
+    if isinstance(tree, float):
+        return np.float64(tree)
+    return tree
+
+
+def normal_form(tree):
+    """Implementation-independent content: tuples as lists, plain
+    scalars — the yardstick the distinctness property compares by."""
+    if isinstance(tree, dict):
+        return {k: normal_form(v) for k, v in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return [normal_form(v) for v in tree]
+    return tree
+
+
+# -- spelling invariance ---------------------------------------------------
+
+
+class TestSpellingInvariance:
+    @given(tree=trees, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_dict_key_order_is_irrelevant(self, tree, seed):
+        shuffled = reorder(tree, random.Random(seed))
+        assert canonical_json(shuffled) == canonical_json(tree)
+        assert fingerprint(shuffled) == fingerprint(tree)
+
+    @given(tree=trees)
+    @settings(max_examples=200, deadline=None)
+    def test_tuple_and_list_spellings_agree(self, tree):
+        assert fingerprint(tupleize(tree)) == fingerprint(tree)
+        assert fingerprint_spawn_key(tupleize(tree)) == fingerprint_spawn_key(
+            tree
+        )
+
+    @given(tree=trees, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_numpy_scalar_spellings_agree(self, tree, seed):
+        respelled = numpify(tree, random.Random(seed))
+        assert canonical_json(respelled) == canonical_json(tree)
+        assert fingerprint(respelled) == fingerprint(tree)
+        assert fingerprint_spawn_key(respelled) == fingerprint_spawn_key(tree)
+
+    @given(tree=trees, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_all_three_respellings_compose(self, tree, seed):
+        rng = random.Random(seed)
+        respelled = numpify(tupleize(reorder(tree, rng)), rng)
+        assert fingerprint(respelled) == fingerprint(tree)
+
+
+# -- distinctness ----------------------------------------------------------
+
+
+class TestDistinctness:
+    @given(a=finite_trees, b=finite_trees)
+    @settings(max_examples=300, deadline=None)
+    def test_different_content_never_collides(self, a, b):
+        """Content differing under the normal form must produce both a
+        different canonical serialisation and a different digest."""
+        if normal_form(a) == normal_form(b):
+            return
+        assert canonical_json(a) != canonical_json(b)
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint_spawn_key(a) != fingerprint_spawn_key(b)
+
+    @given(tree=finite_trees, key=st.text(min_size=1, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_single_leaf_perturbation_changes_the_key(self, tree, key):
+        """Wrapping the spec with one extra field always re-keys it."""
+        assert fingerprint({key: tree}) != fingerprint(
+            {key: tree, "__extra__": 1}
+        )
+
+
+# -- the real spec classes -------------------------------------------------
+
+
+class TestSpecDataclasses:
+    def test_numpy_spelled_scenario_fingerprints_identically(self):
+        plain = Scenario(
+            n_terminals=3,
+            loss=IIDLossSpec(0.5),
+            rounds=40,
+            n_x_packets=60,
+        )
+        respelled = Scenario(
+            n_terminals=np.int64(3),
+            loss=IIDLossSpec(np.float64(0.5)),
+            rounds=np.int32(40),
+            n_x_packets=60,
+        )
+        assert fingerprint(respelled) == fingerprint(plain)
+        assert fingerprint_spawn_key(respelled) == fingerprint_spawn_key(plain)
+
+    def test_float32_widening_is_a_different_spec(self):
+        """np.float32(0.1) is a genuinely different number than 0.1 —
+        it must stay a different key (invariance is about spelling,
+        not about rounding)."""
+        assert fingerprint(IIDLossSpec(float(np.float32(0.1)))) != fingerprint(
+            IIDLossSpec(0.1)
+        )
+
+    def test_int_and_float_are_different_content(self):
+        """1 and 1.0 are different JSON types and deliberately distinct
+        keys — loss 1 (int) vs 1.0 (float) would round-trip differently
+        through the record codecs."""
+        assert fingerprint({"p": 1}) != fingerprint({"p": 1.0})
+
+    def test_unfingerprintable_objects_fail_loudly(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint({"rng": np.random.default_rng(0)})
