@@ -29,6 +29,7 @@ calibration equally, so only relative regressions trip the gate.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
@@ -42,6 +43,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.analysis.stats import StreamingMoments  # noqa: E402
+from repro.service import ServiceConfig, run_load, run_memory_group  # noqa: E402
 from repro.sim import (  # noqa: E402
     CampaignRunner,
     IIDLossSpec,
@@ -145,6 +147,31 @@ def bench_store_roundtrip() -> None:
         assert total == 300
 
 
+#: Small protocol sizing for the service benchmarks: the gate watches
+#: the *service machinery* (framing, MACs, asyncio pumping, HKDF), so
+#: the per-session coding work is kept modest and constant.
+_SERVICE_BENCH_CONFIG = ServiceConfig(n_x_packets=24, payload_bytes=16)
+
+
+def bench_service_handshake() -> None:
+    """Five sequential full handshakes over in-memory transports."""
+
+    async def sessions() -> None:
+        for nonce in range(5):
+            keys = await run_memory_group(
+                _SERVICE_BENCH_CONFIG, "alice", ("bob",), nonce=nonce
+            )
+            assert keys["alice"].material == keys["bob"].material
+
+    asyncio.run(sessions())
+
+
+def bench_service_concurrent() -> None:
+    """100 concurrent sessions through the load generator (one loop)."""
+    report = asyncio.run(run_load(_SERVICE_BENCH_CONFIG, 100, concurrency=50))
+    assert report.established == report.sessions, report.failure_types
+
+
 BENCHMARKS = {
     "calibration": bench_calibration,
     "batched_campaign": bench_batched_campaign,
@@ -152,6 +179,8 @@ BENCHMARKS = {
     "allocation_lp": bench_allocation_lp,
     "realised_flow": bench_realised_flow,
     "store_roundtrip": bench_store_roundtrip,
+    "service_handshake": bench_service_handshake,
+    "service_concurrent": bench_service_concurrent,
 }
 
 #: Per-benchmark slowdown allowances overriding ``--threshold``.  The

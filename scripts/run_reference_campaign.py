@@ -208,6 +208,13 @@ def sweep_status(argv):
         "workers actually use (default: the library default)",
     )
     args = parser.parse_args(argv)
+    # Status is read-only: never create the store directory as a side
+    # effect, and an empty (or absent) store is a clean zero summary,
+    # not an error — "nothing running yet" is a normal sweep state.
+    if not os.path.isdir(args.store):
+        print(f"{args.store}: 0 manifests (store directory does not exist)",
+              flush=True)
+        return 0
     store = CampaignStore(args.store)
     names = [
         name
@@ -215,15 +222,19 @@ def sweep_status(argv):
         if args.manifest is None or name.startswith(args.manifest)
     ]
     if not names:
-        print(f"no manifests in {args.store}", flush=True)
-        return 1
+        print(f"{args.store}: 0 manifests", flush=True)
+        return 0
     for name in names:
-        sweep = SweepManifest.load(store, name)
         queue_kwargs = (
             {} if args.lease_timeout is None
             else {"lease_timeout": args.lease_timeout}
         )
-        status = WorkQueue(store, sweep, **queue_kwargs).status()
+        try:
+            sweep = SweepManifest.load(store, name)
+            status = WorkQueue(store, sweep, **queue_kwargs).status()
+        except Exception as exc:  # torn write, foreign file: report and go on
+            print(f"{name}: unreadable manifest ({exc})", flush=True)
+            continue
         print(
             f"{name} (v{sweep.version}, {sweep.kind}): "
             f"{status.done}/{status.total} done, "

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Run one live key-agreement peer over TCP.
+
+Two terminals, two processes (see README "Live service quickstart"):
+
+    # terminal 1 — the leader listens and waits for its followers
+    $ python scripts/run_service_peer.py serve --name alice --followers bob \
+          --port 9400
+
+    # terminal 2 — a follower connects and runs the handshake
+    $ python scripts/run_service_peer.py connect --name bob --leader alice \
+          --port 9400
+
+Both print the same key fingerprint on success (never the key itself)
+and exit 0; any failure prints the typed error and exits non-zero.
+Both sides must be launched with identical protocol parameters — the
+HELLO digest check aborts the session otherwise.
+
+This is a demo/testing entry point: the bootstrap secret defaults to
+the repo's demo constant (override with --bootstrap-hex) and the lossy
+radio is simulated by seeded erasure traces, so two local processes
+reproduce exactly the simulator's secret for the same seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    ServiceError,
+    TcpLeader,
+    connect_follower_tcp,
+)
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    kwargs = dict(
+        n_x_packets=args.n_x_packets,
+        payload_bytes=args.payload_bytes,
+        n_rounds=args.rounds,
+        loss_prob=args.loss_prob,
+        loss_seed=args.loss_seed,
+        payload_seed=args.payload_seed,
+        handshake_timeout=args.timeout,
+    )
+    if args.bootstrap_hex:
+        kwargs["bootstrap"] = bytes.fromhex(args.bootstrap_hex)
+    return ServiceConfig(**kwargs)
+
+
+async def serve(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    followers = tuple(args.followers.split(","))
+    leader = TcpLeader(
+        config, args.name, followers, host=args.host, port=args.port
+    )
+    port = await leader.start()
+    print(f"[{args.name}] listening on {args.host}:{port}, "
+          f"waiting for {', '.join(followers)}")
+    try:
+        keys = await leader.run()
+    finally:
+        await leader.aclose()
+    print(f"[{args.name}] established; key fingerprint {keys.fingerprint()} "
+          f"({len(keys.material)} bytes derived)")
+    return 0
+
+
+async def connect(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    keys = await connect_follower_tcp(
+        config, args.name, args.leader, args.host, args.port
+    )
+    print(f"[{args.name}] established; key fingerprint {keys.fingerprint()} "
+          f"({len(keys.material)} bytes derived)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--name", required=True, help="this peer's name")
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=9400)
+        p.add_argument("--n-x-packets", type=int, default=48)
+        p.add_argument("--payload-bytes", type=int, default=32)
+        p.add_argument("--rounds", type=int, default=1)
+        p.add_argument("--loss-prob", type=float, default=0.3)
+        p.add_argument("--loss-seed", type=int, default=11)
+        p.add_argument("--payload-seed", type=int, default=7)
+        p.add_argument("--timeout", type=float, default=30.0)
+        p.add_argument(
+            "--bootstrap-hex",
+            default=None,
+            help="hex-encoded shared bootstrap secret (default: demo constant)",
+        )
+
+    p_serve = sub.add_parser("serve", help="run the leader (listens)")
+    common(p_serve)
+    p_serve.add_argument(
+        "--followers",
+        required=True,
+        help="comma-separated follower names the session waits for",
+    )
+
+    p_connect = sub.add_parser("connect", help="run a follower (connects)")
+    common(p_connect)
+    p_connect.add_argument("--leader", required=True, help="the leader's name")
+
+    args = parser.parse_args()
+    try:
+        if args.command == "serve":
+            return asyncio.run(serve(args))
+        return asyncio.run(connect(args))
+    except ServiceError as exc:
+        print(f"session failed ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""HKDF-style key derivation: agreed secret -> usable symmetric keys.
+
+The protocol's output is a matrix of secret packets; applications need
+fixed-length uniform key material.  This module closes that gap with
+the standard extract-then-expand construction (RFC 5869, HMAC-SHA256)
+— the same idiom as the RLPx ``derive_rlpx_keys`` handshake step, but
+with an information-theoretic secret as input keying material instead
+of an ECDH point.
+
+The derivation contract (also documented in docs/architecture.md):
+
+* ``salt  = SHA256("thin-air/service/v1" | session_id | config_digest
+  | leader)`` — the session id already binds the full group (it is
+  derived from the sorted member list), and a follower does not learn
+  its co-followers' names, so the salt stays computable by every party.
+* ``prk   = HMAC-SHA256(salt, secret_bytes)``
+* ``material     = HKDF-Expand(prk, "key-material", key_bytes)``
+* ``confirm_root = HKDF-Expand(prk, "confirm-root", 32)``
+
+Key confirmation tags are ``HMAC-SHA256(confirm_root, label)`` where
+the label names the direction (``confirm|<role>|<name>``), so a
+follower cannot replay the leader's tag back at it.  An empty secret
+derives nothing: :class:`~repro.service.errors.NoSecretError` enforces
+the fail-closed contract at the derivation boundary itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service.errors import NoSecretError
+
+__all__ = [
+    "hkdf_extract",
+    "hkdf_expand",
+    "DerivedKeys",
+    "derive_session_keys",
+]
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 extract: concentrate the input keying material."""
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 expand: stretch a PRK to ``length`` output bytes."""
+    if length < 0:
+        raise ValueError("cannot derive a negative number of bytes")
+    if length > 255 * _HASH_LEN:
+        raise ValueError(f"HKDF-Expand caps output at {255 * _HASH_LEN} bytes")
+    out = bytearray()
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass(frozen=True)
+class DerivedKeys:
+    """The service's output: key material of the configured length.
+
+    Attributes:
+        material: ``key_bytes`` of uniform key material (the stated
+            service contract; split it as the application requires).
+        confirm_root: root of the key-confirmation tags — used by the
+            handshake itself and never handed to applications.
+    """
+
+    material: bytes
+    confirm_root: bytes
+
+    def confirm_tag(self, role: str, name: str) -> bytes:
+        """Direction-bound confirmation tag for ``role``/``name``."""
+        label = b"confirm|" + role.encode("utf-8") + b"|" + name.encode("utf-8")
+        return hmac.new(self.confirm_root, label, hashlib.sha256).digest()
+
+    def fingerprint(self) -> str:
+        """Short public fingerprint for logs (never the material)."""
+        return hashlib.sha256(b"fingerprint|" + self.material).hexdigest()[:16]
+
+
+def derive_session_keys(
+    secret: np.ndarray,
+    *,
+    session_id: bytes,
+    config_digest: bytes,
+    leader: str,
+    key_bytes: int,
+) -> DerivedKeys:
+    """Turn the agreed secret packets into usable symmetric keys.
+
+    Raises:
+        NoSecretError: when the secret is empty — a session that agreed
+            nothing must fail closed, not emit keys derived from an
+            empty string.
+    """
+    arr = np.asarray(secret, dtype=np.uint8)
+    if arr.size == 0:
+        raise NoSecretError("the rounds produced an empty secret")
+    h = hashlib.sha256()
+    h.update(b"thin-air/service/v1|")
+    h.update(session_id)
+    h.update(config_digest)
+    h.update(leader.encode("utf-8"))
+    prk = hkdf_extract(h.digest(), arr.tobytes())
+    return DerivedKeys(
+        material=hkdf_expand(prk, b"key-material", key_bytes),
+        confirm_root=hkdf_expand(prk, b"confirm-root", _HASH_LEN),
+    )

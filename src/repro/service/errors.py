@@ -1,0 +1,121 @@
+"""Typed failure modes of the live key-agreement service.
+
+Every way a session can end short of two confirmed, identical keys maps
+to one exception class here.  The fail-closed contract of the service
+layer is built on this taxonomy: drivers translate *any* of these into
+an ABORT frame to the peer and guarantee that no key material is ever
+exposed from a session that raised (see
+:attr:`repro.service.engine.SessionPhase.ESTABLISHED`).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "ServiceError",
+    "HandshakeError",
+    "ConfigMismatchError",
+    "AuthenticationError",
+    "PoolExhaustedError",
+    "ProtocolViolation",
+    "NoSecretError",
+    "ConfirmationError",
+    "SessionAborted",
+    "SessionTimeout",
+    "TransportClosed",
+    "AbortCode",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class: the session ended without an established key."""
+
+
+class HandshakeError(ServiceError):
+    """The HELLO exchange could not complete."""
+
+
+class ConfigMismatchError(HandshakeError):
+    """The peers' protocol parameters disagree (digest mismatch)."""
+
+
+class AuthenticationError(ServiceError):
+    """A control frame's one-time MAC failed to verify.
+
+    Covers forgery, corruption surviving the frame CRC, and any
+    desynchronisation of the pair's key-pool consumption (dropped,
+    duplicated or reordered control frames all land here, by design:
+    the authenticated sequence is strict).
+    """
+
+
+class PoolExhaustedError(ServiceError):
+    """The bootstrap key pool ran out mid-handshake.
+
+    Wraps :class:`repro.auth.bootstrap.BootstrapError`: the session is
+    aborted — never continued unauthenticated — and no key material is
+    derived.
+    """
+
+
+class ProtocolViolation(ServiceError):
+    """The peer sent a frame the state machine cannot accept."""
+
+
+class NoSecretError(ServiceError):
+    """The rounds produced an empty secret; nothing to derive keys from."""
+
+
+class ConfirmationError(ServiceError):
+    """Key confirmation failed: the peers derived different keys."""
+
+
+class SessionAborted(ServiceError):
+    """The peer sent an ABORT frame."""
+
+    def __init__(self, code: "AbortCode", reason: str) -> None:
+        super().__init__(f"peer aborted ({code.name}): {reason}")
+        self.code = code
+        self.reason = reason
+
+
+class SessionTimeout(ServiceError):
+    """The session did not finish within the configured deadline."""
+
+
+class TransportClosed(ServiceError):
+    """The underlying transport closed before the session finished."""
+
+
+class AbortCode(IntEnum):
+    """Wire codes for the ABORT frame (mirrors the exception taxonomy)."""
+
+    INTERNAL = 0
+    CONFIG_MISMATCH = 1
+    AUTH_FAILED = 2
+    POOL_EXHAUSTED = 3
+    PROTOCOL = 4
+    NO_SECRET = 5
+    CONFIRM_FAILED = 6
+    TIMEOUT = 7
+
+
+#: Exception class -> wire code, used by drivers when notifying the peer.
+ABORT_CODE_OF = {
+    ConfigMismatchError: AbortCode.CONFIG_MISMATCH,
+    AuthenticationError: AbortCode.AUTH_FAILED,
+    PoolExhaustedError: AbortCode.POOL_EXHAUSTED,
+    ProtocolViolation: AbortCode.PROTOCOL,
+    NoSecretError: AbortCode.NO_SECRET,
+    ConfirmationError: AbortCode.CONFIRM_FAILED,
+    SessionTimeout: AbortCode.TIMEOUT,
+}
+
+
+def abort_code_for(exc: BaseException) -> AbortCode:
+    """The wire code a driver should attach when aborting on ``exc``."""
+    for klass, code in ABORT_CODE_OF.items():
+        if isinstance(exc, klass):
+            return code
+    return AbortCode.INTERNAL

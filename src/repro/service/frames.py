@@ -1,0 +1,465 @@
+"""Length-prefixed frame codec for the protocol's wire messages.
+
+The simulation's :mod:`repro.core.messages` classes model control
+messages for *cost accounting*; this module gives them an actual byte
+encoding so real peers can exchange them over a stream transport.
+
+Frame layout (big-endian throughout)::
+
+    +---------+--------+----------------+---------+
+    | length  | type   | body           | crc32   |
+    | 4 bytes | 1 byte | length-5 bytes | 4 bytes |
+    +---------+--------+----------------+---------+
+
+``length`` counts everything after itself (type + body + crc32), so a
+decoder can resynchronise only at stream start — any corruption is
+terminal for the connection, which is the fail-closed behaviour the
+service wants.  The CRC covers type + body; frames whose CRC mismatches
+raise :class:`FrameCorrupt` rather than ever yielding bytes to the
+session layer.
+
+Authenticated control frames (REPORT, Y_DESCRIPTOR, PHASE2_DESCRIPTOR,
+Z_CONTENT) carry a trailing one-time-MAC tag of
+:data:`repro.auth.mac.TAG_SYMBOLS` bytes inside the body; the
+authenticated content is ``type byte + body-without-tag`` (see
+:mod:`repro.service.engine`).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.messages import ReceptionReport
+
+__all__ = [
+    "FrameError",
+    "FrameTooLarge",
+    "FrameCorrupt",
+    "FrameTruncated",
+    "FrameType",
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+    "WireHello",
+    "WireXPacket",
+    "WireXEnd",
+    "pack_report",
+    "unpack_report",
+    "WireBlockDescriptor",
+    "WirePhase2Descriptor",
+    "WireZContent",
+    "WireConfirm",
+    "WireAbort",
+    "AUTHENTICATED_TYPES",
+]
+
+#: Default ceiling on one frame's (type + body + crc) size.  Generous
+#: for the protocol's packets (payloads are 100 bytes in the paper) but
+#: small enough that a corrupt length prefix cannot balloon memory.
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+_MIN_PAYLOAD = 1 + 4  # type byte + crc32
+
+
+class FrameError(ValueError):
+    """Base class for codec failures (always terminal for the stream)."""
+
+
+class FrameTooLarge(FrameError):
+    """A frame exceeded the configured size ceiling."""
+
+
+class FrameCorrupt(FrameError):
+    """CRC mismatch, unknown type, or a malformed message body."""
+
+
+class FrameTruncated(FrameError):
+    """The stream ended mid-frame (torn write / abrupt close)."""
+
+
+class FrameType(IntEnum):
+    """Every message the service puts on the wire."""
+
+    HELLO = 1
+    X_PACKET = 2
+    X_END = 3
+    REPORT = 4
+    Y_DESCRIPTOR = 5
+    PHASE2_DESCRIPTOR = 6
+    Z_CONTENT = 7
+    CONFIRM = 8
+    CONFIRM_ACK = 9
+    ABORT = 10
+
+
+#: Control frames that carry (and must pass) a one-time-MAC tag.
+AUTHENTICATED_TYPES = frozenset(
+    {
+        FrameType.REPORT,
+        FrameType.Y_DESCRIPTOR,
+        FrameType.PHASE2_DESCRIPTOR,
+        FrameType.Z_CONTENT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: a type tag and its raw body bytes."""
+
+    type: FrameType
+    body: bytes
+
+
+def encode_frame(frame: Frame, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise ``frame`` with length prefix and CRC trailer."""
+    blob = bytes([int(frame.type)]) + frame.body
+    payload = blob + _CRC.pack(zlib.crc32(blob) & 0xFFFFFFFF)
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(payload)} bytes exceeds cap {max_frame_bytes}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary chunks, get complete frames.
+
+    Reassembles frames across any chunk boundaries (a TCP stream offers
+    no message framing of its own).  All errors are terminal: once a
+    feed raises, the decoder refuses further input.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume ``data``; return every frame it completes, in order."""
+        if self._poisoned:
+            raise FrameCorrupt("decoder already failed; stream is dead")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        try:
+            while True:
+                if len(self._buffer) < _LEN.size:
+                    break
+                (length,) = _LEN.unpack_from(self._buffer)
+                if length < _MIN_PAYLOAD:
+                    raise FrameCorrupt(f"frame payload of {length} bytes is impossible")
+                if length > self.max_frame_bytes:
+                    raise FrameTooLarge(
+                        f"declared frame of {length} bytes exceeds cap "
+                        f"{self.max_frame_bytes}"
+                    )
+                if len(self._buffer) < _LEN.size + length:
+                    break
+                payload = bytes(self._buffer[_LEN.size : _LEN.size + length])
+                del self._buffer[: _LEN.size + length]
+                blob, crc_raw = payload[:-4], payload[-4:]
+                if zlib.crc32(blob) & 0xFFFFFFFF != _CRC.unpack(crc_raw)[0]:
+                    raise FrameCorrupt("frame CRC mismatch")
+                try:
+                    ftype = FrameType(blob[0])
+                except ValueError:
+                    raise FrameCorrupt(f"unknown frame type {blob[0]}") from None
+                frames.append(Frame(ftype, blob[1:]))
+        except FrameError:
+            self._poisoned = True
+            raise
+        return frames
+
+    def eof(self) -> None:
+        """Declare end of stream; raises if a frame was left half-read."""
+        if self._buffer:
+            self._poisoned = True
+            raise FrameTruncated(
+                f"stream ended with {len(self._buffer)} bytes of partial frame"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Message bodies
+# ---------------------------------------------------------------------------
+
+_HELLO = struct.Struct(">B16s16sB")
+_ROUND = struct.Struct(">H")
+_XPKT = struct.Struct(">HH")
+_REPORT_HEAD = struct.Struct(">HH")
+_ZHEAD = struct.Struct(">HHH")
+_ABORT_HEAD = struct.Struct(">H")
+
+
+def _need(body: bytes, n: int, what: str) -> None:
+    if len(body) < n:
+        raise FrameCorrupt(f"{what}: body of {len(body)} bytes is too short")
+
+
+@dataclass(frozen=True)
+class WireHello:
+    """Session opener: who is speaking and under which parameters.
+
+    ``config_digest`` pins every wire-relevant protocol parameter (see
+    :meth:`repro.service.config.ServiceConfig.digest`); peers with
+    different digests abort instead of mis-decoding each other.
+    """
+
+    role: int  # 0 = leader, 1 = follower
+    session_id: bytes  # 16 bytes (all-zero from a follower: leader assigns)
+    config_digest: bytes  # 16 bytes
+    name: str
+
+    def pack(self) -> Frame:
+        raw = self.name.encode("utf-8")
+        if len(raw) > 255:
+            raise FrameCorrupt("peer name longer than 255 bytes")
+        body = _HELLO.pack(self.role, self.session_id, self.config_digest, len(raw))
+        return Frame(FrameType.HELLO, body + raw)
+
+    @classmethod
+    def unpack(cls, frame: Frame) -> "WireHello":
+        body = frame.body
+        _need(body, _HELLO.size, "HELLO")
+        role, session_id, digest, name_len = _HELLO.unpack_from(body)
+        raw = body[_HELLO.size :]
+        if len(raw) != name_len:
+            raise FrameCorrupt("HELLO name length mismatch")
+        if role not in (0, 1):
+            raise FrameCorrupt(f"HELLO role {role} is not leader/follower")
+        return cls(role, session_id, digest, raw.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class WireXPacket:
+    """One x-packet of a broadcast round (the lossy data plane)."""
+
+    round_id: int
+    x_id: int
+    payload: bytes
+
+    def pack(self) -> Frame:
+        return Frame(FrameType.X_PACKET, _XPKT.pack(self.round_id, self.x_id) + self.payload)
+
+    @classmethod
+    def unpack(cls, frame: Frame) -> "WireXPacket":
+        _need(frame.body, _XPKT.size, "X_PACKET")
+        round_id, x_id = _XPKT.unpack_from(frame.body)
+        return cls(round_id, x_id, frame.body[_XPKT.size :])
+
+
+@dataclass(frozen=True)
+class WireXEnd:
+    """End of a round's x-burst: the leader sent ``count`` x-packets."""
+
+    round_id: int
+    count: int
+
+    def pack(self) -> Frame:
+        return Frame(FrameType.X_END, _XPKT.pack(self.round_id, self.count))
+
+    @classmethod
+    def unpack(cls, frame: Frame) -> "WireXEnd":
+        if len(frame.body) != _XPKT.size:
+            raise FrameCorrupt("X_END body must be exactly 4 bytes")
+        return cls(*_XPKT.unpack(frame.body))
+
+
+def pack_report(report: ReceptionReport) -> bytes:
+    """Serialise a :class:`~repro.core.messages.ReceptionReport` body.
+
+    Exactly the format its ``body_bytes`` accounting charges: round id
+    (2 B) + packet count (2 B) + a bitmap of received x-ids.
+    """
+    bitmap = bytearray(math.ceil(report.n_packets / 8))
+    for xid in report.received_ids:
+        if not 0 <= xid < report.n_packets:
+            raise FrameCorrupt(f"x-id {xid} outside round of {report.n_packets}")
+        bitmap[xid // 8] |= 1 << (xid % 8)
+    return _REPORT_HEAD.pack(report.round_id, report.n_packets) + bytes(bitmap)
+
+
+def unpack_report(body: bytes, terminal: str) -> ReceptionReport:
+    """Parse a REPORT body back into a ReceptionReport for ``terminal``."""
+    _need(body, _REPORT_HEAD.size, "REPORT")
+    round_id, n_packets = _REPORT_HEAD.unpack_from(body)
+    bitmap = body[_REPORT_HEAD.size :]
+    if len(bitmap) != math.ceil(n_packets / 8):
+        raise FrameCorrupt("REPORT bitmap length mismatch")
+    received = frozenset(
+        xid
+        for xid in range(n_packets)
+        if bitmap[xid // 8] & (1 << (xid % 8))
+    )
+    return ReceptionReport(
+        round_id=round_id,
+        terminal=terminal,
+        received_ids=received,
+        n_packets=n_packets,
+    )
+
+
+@dataclass(frozen=True)
+class WireBlockDescriptor:
+    """Phase-1 y-identities: per block, its row count and x-id support.
+
+    The Cauchy coefficients never travel (deterministic given rows and
+    support length — exactly the paper's identities-only broadcast).
+    Mirrors :class:`repro.core.messages.BlockDescriptorSet`.
+    """
+
+    round_id: int
+    supports: Tuple[Tuple[int, ...], ...]
+    rows: Tuple[int, ...]
+
+    def pack(self) -> bytes:
+        if len(self.supports) != len(self.rows):
+            raise FrameCorrupt("descriptor supports/rows length mismatch")
+        parts = [_ROUND.pack(self.round_id), _ROUND.pack(len(self.supports))]
+        for support, n_rows in zip(self.supports, self.rows):
+            if not 0 <= n_rows <= 255:
+                raise FrameCorrupt(f"block row count {n_rows} out of range")
+            parts.append(struct.pack(">BH", n_rows, len(support)))
+            parts.append(struct.pack(f">{len(support)}H", *support))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "WireBlockDescriptor":
+        _need(body, 4, "Y_DESCRIPTOR")
+        (round_id,) = _ROUND.unpack_from(body, 0)
+        (n_blocks,) = _ROUND.unpack_from(body, 2)
+        offset = 4
+        supports: List[Tuple[int, ...]] = []
+        rows: List[int] = []
+        for _ in range(n_blocks):
+            _need(body, offset + 3, "Y_DESCRIPTOR block header")
+            n_rows, support_len = struct.unpack_from(">BH", body, offset)
+            offset += 3
+            _need(body, offset + 2 * support_len, "Y_DESCRIPTOR support")
+            support = struct.unpack_from(f">{support_len}H", body, offset)
+            offset += 2 * support_len
+            supports.append(tuple(support))
+            rows.append(n_rows)
+        if offset != len(body):
+            raise FrameCorrupt("Y_DESCRIPTOR has trailing bytes")
+        return cls(round_id, tuple(supports), tuple(rows))
+
+
+@dataclass(frozen=True)
+class WirePhase2Descriptor:
+    """Phase-2 chunk structure: sizes, secret counts, public counts.
+
+    Extends :class:`repro.core.messages.Phase2Descriptor` with the
+    per-chunk public (z) row count — implicit in the simulator, where
+    terminals share the plan object, but required on a real wire so a
+    follower can rebuild the z/s Cauchy maps without the leader's
+    allocation internals.
+    """
+
+    round_id: int
+    chunk_sizes: Tuple[int, ...]
+    secret_counts: Tuple[int, ...]
+    public_counts: Tuple[int, ...]
+
+    def pack(self) -> bytes:
+        if not (
+            len(self.chunk_sizes) == len(self.secret_counts) == len(self.public_counts)
+        ):
+            raise FrameCorrupt("phase-2 descriptor column length mismatch")
+        parts = [_ROUND.pack(self.round_id), _ROUND.pack(len(self.chunk_sizes))]
+        for size, n_secret, n_public in zip(
+            self.chunk_sizes, self.secret_counts, self.public_counts
+        ):
+            parts.append(_ZHEAD.pack(size, n_secret, n_public))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "WirePhase2Descriptor":
+        _need(body, 4, "PHASE2_DESCRIPTOR")
+        (round_id,) = _ROUND.unpack_from(body, 0)
+        (n_chunks,) = _ROUND.unpack_from(body, 2)
+        if len(body) != 4 + _ZHEAD.size * n_chunks:
+            raise FrameCorrupt("PHASE2_DESCRIPTOR length mismatch")
+        sizes, secrets, publics = [], [], []
+        for i in range(n_chunks):
+            size, n_secret, n_public = _ZHEAD.unpack_from(body, 4 + _ZHEAD.size * i)
+            if n_secret > size or n_public > size:
+                raise FrameCorrupt("PHASE2_DESCRIPTOR counts exceed chunk size")
+            sizes.append(size)
+            secrets.append(n_secret)
+            publics.append(n_public)
+        return cls(round_id, tuple(sizes), tuple(secrets), tuple(publics))
+
+
+@dataclass(frozen=True)
+class WireZContent:
+    """One public z-packet: its (chunk, row) tag plus the payload.
+
+    The 6-byte head is the wire form of the 4-byte (chunk, row) tag
+    :func:`repro.core.messages.z_content_overhead_bytes` charges, plus
+    the round id a real multiplexed stream needs.
+    """
+
+    round_id: int
+    chunk: int
+    row: int
+    payload: bytes
+
+    def pack(self) -> bytes:
+        return _ZHEAD.pack(self.round_id, self.chunk, self.row) + self.payload
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "WireZContent":
+        _need(body, _ZHEAD.size, "Z_CONTENT")
+        round_id, chunk, row = _ZHEAD.unpack_from(body)
+        return cls(round_id, chunk, row, body[_ZHEAD.size :])
+
+
+@dataclass(frozen=True)
+class WireConfirm:
+    """Key-confirmation tag (HMAC-SHA256 over a role/name label)."""
+
+    tag: bytes  # 32 bytes
+
+    def pack(self, ack: bool = False) -> Frame:
+        if len(self.tag) != 32:
+            raise FrameCorrupt("confirmation tag must be 32 bytes")
+        return Frame(FrameType.CONFIRM_ACK if ack else FrameType.CONFIRM, self.tag)
+
+    @classmethod
+    def unpack(cls, frame: Frame) -> "WireConfirm":
+        if len(frame.body) != 32:
+            raise FrameCorrupt("confirmation tag must be 32 bytes")
+        return cls(frame.body)
+
+
+@dataclass(frozen=True)
+class WireAbort:
+    """Session teardown notice: a wire code plus a short reason."""
+
+    code: int
+    reason: str
+
+    def pack(self) -> Frame:
+        raw = self.reason.encode("utf-8")[:512]
+        return Frame(FrameType.ABORT, _ABORT_HEAD.pack(self.code) + raw)
+
+    @classmethod
+    def unpack(cls, frame: Frame) -> "WireAbort":
+        _need(frame.body, _ABORT_HEAD.size, "ABORT")
+        (code,) = _ABORT_HEAD.unpack_from(frame.body)
+        reason = frame.body[_ABORT_HEAD.size :].decode("utf-8", errors="replace")
+        return cls(code, reason)

@@ -134,3 +134,74 @@ class TestAuthenticatedChannel:
         for k in range(5):
             msg = f"epoch {k}".encode()
             assert b.verify_next(msg, a.authenticate(msg))
+
+
+class TestTagReuse:
+    """Negative paths for one-time key discipline: every way a tag can
+    be presented against the wrong key must fail — and actual key
+    *reuse* must demonstrably leak, which is why the channel never
+    allows it."""
+
+    def test_tag_replayed_at_later_position_rejected(self):
+        boot = bytes(range(64))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        msg = b"same message every time"
+        t1 = a.authenticate(msg)
+        a.authenticate(msg)
+        a.authenticate(msg)
+        assert b.verify_next(msg, t1)
+        # Positions 2 and 3 use fresh keys: the old tag is worthless
+        # even for the identical message.
+        assert not b.verify_next(msg, t1)
+        assert not b.verify_next(msg, t1)
+
+    def test_out_of_order_tags_desynchronise_permanently(self):
+        boot = bytes(range(64))
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        t1 = a.authenticate(b"first")
+        t2 = a.authenticate(b"second")
+        # A reordered delivery burns key 1 against message 2...
+        assert not b.verify_next(b"second", t2)
+        # ...and the sequence never recovers: the late frame now meets
+        # key 2, failing as well.  Strict ordering is load-bearing.
+        assert not b.verify_next(b"first", t1)
+
+    def test_verify_on_exhausted_pool_raises(self):
+        boot = bytes(range(MAC_KEY_BYTES))  # exactly one key
+        a = AuthenticatedChannel.from_bootstrap(boot)
+        b = AuthenticatedChannel.from_bootstrap(boot)
+        assert b.verify_next(b"only", a.authenticate(b"only"))
+        with pytest.raises(BootstrapError):
+            b.verify_next(b"more", b"\x00" * TAG_SYMBOLS)
+
+    def test_cross_pair_tag_rejected(self, rng):
+        """A tag minted under one bootstrap pool means nothing to a
+        channel seeded from a different pool."""
+        a = AuthenticatedChannel.from_bootstrap(bytes(range(32)))
+        other = AuthenticatedChannel.from_bootstrap(
+            bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+        )
+        msg = b"round 0 start"
+        assert not other.verify_next(msg, a.authenticate(msg))
+
+    def test_pad_reuse_enables_forgery(self):
+        """Why keys are strictly one-time: tagging two messages with the
+        same evaluation points leaks their hash difference (the pads
+        cancel under XOR), which converts directly into a forgery
+        against any other key sharing those points."""
+        points = bytes(range(1, TAG_SYMBOLS + 1))
+        pad1 = bytes(range(100, 100 + TAG_SYMBOLS))
+        pad2 = bytes(range(200, 200 + TAG_SYMBOLS))
+        mac_reused = OneTimeMac(points + pad1)
+        mac_victim = OneTimeMac(points + pad2)
+        m1, m2 = b"transfer 10 coins", b"transfer 99 coins"
+        # The attacker observes both tags under the *reused* key...
+        leak = bytes(
+            x ^ y for x, y in zip(mac_reused.tag(m1), mac_reused.tag(m2))
+        )
+        # ...plus one honest tag from the victim key, and forges the
+        # victim's tag for the other message without knowing any key.
+        forged = bytes(x ^ y for x, y in zip(mac_victim.tag(m1), leak))
+        assert mac_victim.verify(m2, forged)

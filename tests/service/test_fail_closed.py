@@ -1,0 +1,187 @@
+"""Sans-io fail-closed tests: drive the engines frame by frame.
+
+These tests pump frames between a :class:`LeaderEngine` and its
+:class:`FollowerEngine` peers with plain function calls — no event
+loop, no transports — so each one can tamper with, drop, or replay a
+specific frame and assert the precise typed error.  The invariant under
+test everywhere: **no engine ever exposes key material unless the
+handshake fully confirmed**, and every abort path clears what existed.
+"""
+
+import json
+from collections import deque
+
+import pytest
+
+from repro.service import (
+    AuthenticationError,
+    ConfirmationError,
+    FollowerEngine,
+    LeaderEngine,
+    PoolExhaustedError,
+    ServiceConfig,
+    SessionPhase,
+    reference_keys,
+)
+from repro.service.frames import Frame, FrameType
+
+FAST = ServiceConfig(n_x_packets=16, payload_bytes=8)
+
+LEADER = "leader"  # routing token for the pump, distinct from any name
+
+
+def pump(leader, followers, mutate=None):
+    """Deliver frames between engines until no traffic remains.
+
+    ``mutate(src, dst, frame)`` may rewrite a frame, or return None to
+    drop it — the sans-io equivalent of a hostile/faulty network.
+    """
+    queue = deque()
+    for name, engine in followers.items():
+        for frame in engine.start():
+            queue.append((name, LEADER, frame))
+    while queue:
+        src, dst, frame = queue.popleft()
+        if mutate is not None:
+            frame = mutate(src, dst, frame)
+            if frame is None:
+                continue
+        if dst == LEADER:
+            for peer, out in leader.on_frame(src, frame):
+                queue.append((LEADER, peer, out))
+        else:
+            for out in followers[dst].on_frame(frame):
+                queue.append((dst, LEADER, out))
+
+
+def make_engines(config, follower_names=("bob",)):
+    leader = LeaderEngine(config, "alice", tuple(follower_names))
+    followers = {
+        name: FollowerEngine(config, name, "alice") for name in follower_names
+    }
+    return leader, followers
+
+
+class TestSansIoHandshake:
+    def test_pump_establishes_and_matches_reference(self):
+        leader, followers = make_engines(FAST)
+        pump(leader, followers)
+        ref = reference_keys(FAST, "alice", ("bob",))
+        assert leader.established and followers["bob"].established
+        assert leader.derived_keys.material == ref.material
+        assert followers["bob"].derived_keys.material == ref.material
+
+    def test_snapshots_are_serialisable_and_truthful(self):
+        leader, followers = make_engines(FAST)
+        pump(leader, followers)
+        for engine in (leader, followers["bob"]):
+            snapshot = engine.snapshot()
+            assert snapshot.established
+            assert snapshot.phase == SessionPhase.ESTABLISHED.value
+            assert snapshot.secret_rows > 0
+            assert snapshot.frames_in > 0 and snapshot.frames_out > 0
+            # The "small serialisable dataclass" contract.
+            assert json.loads(json.dumps(snapshot.to_json())) == snapshot.to_json()
+
+    def test_keys_gated_until_established(self):
+        leader, followers = make_engines(FAST)
+        seen_phases = []
+
+        def watch(src, dst, frame):
+            # Mid-handshake, neither engine may expose key material —
+            # even after derivation, before confirmation completes.
+            if not leader.established:
+                assert leader.derived_keys is None
+            if not followers["bob"].established:
+                assert followers["bob"].derived_keys is None
+            seen_phases.append(leader.phase)
+            return frame
+
+        pump(leader, followers, mutate=watch)
+        assert SessionPhase.AWAIT_CONFIRMS in seen_phases
+        assert leader.derived_keys is not None
+
+
+class TestPoolExhaustion:
+    def test_exhaustion_mid_handshake_aborts_typed_with_no_keys(self):
+        """A 16-byte pair pool holds two one-time-MAC keys: the leader
+        burns one verifying the report and one sealing the y-descriptor,
+        then hits the wall sealing the phase-2 descriptor — mid-
+        handshake, before any key material exists to leak."""
+        config = ServiceConfig(
+            n_x_packets=16, payload_bytes=8, pool_bytes_per_peer=16
+        )
+        leader, followers = make_engines(config)
+        with pytest.raises(PoolExhaustedError):
+            pump(leader, followers)
+        assert leader.phase is SessionPhase.FAILED
+        assert leader.derived_keys is None
+        assert leader.secret_rows == 0
+        assert followers["bob"].derived_keys is None
+
+    def test_exhaustion_through_the_async_driver(self):
+        import asyncio
+
+        from repro.service import run_memory_group_outcome
+
+        config = ServiceConfig(
+            n_x_packets=16, payload_bytes=8, pool_bytes_per_peer=16
+        )
+        outcome = asyncio.run(run_memory_group_outcome(config))
+        assert not outcome.ok
+        assert outcome.keys is None
+        # Whichever side's error won the race, it is one of the two
+        # typed outcomes of the abort protocol.
+        assert outcome.error_type in ("PoolExhaustedError", "SessionAborted")
+
+
+class TestTamperedControlPlane:
+    def test_tampered_report_tag_fails_authentication(self):
+        leader, followers = make_engines(FAST)
+
+        def corrupt_report(src, dst, frame):
+            if frame.type is FrameType.REPORT:
+                return Frame(frame.type, frame.body[:-1] + bytes([frame.body[-1] ^ 1]))
+            return frame
+
+        with pytest.raises(AuthenticationError):
+            pump(leader, followers, mutate=corrupt_report)
+        assert leader.phase is SessionPhase.FAILED
+        assert leader.derived_keys is None
+
+    def test_dropped_control_frame_desynchronises_the_mac_sequence(self):
+        """Losing the y-descriptor shifts the follower's key sequence
+        one slot: the next control frame verifies under the wrong
+        one-time key and the session dies — never mis-decodes."""
+        leader, followers = make_engines(FAST)
+        dropped = []
+
+        def drop_y(src, dst, frame):
+            if frame.type is FrameType.Y_DESCRIPTOR and not dropped:
+                dropped.append(frame)
+                return None
+            return frame
+
+        with pytest.raises(AuthenticationError):
+            pump(leader, followers, mutate=drop_y)
+        assert dropped
+        assert followers["bob"].phase is SessionPhase.FAILED
+        assert followers["bob"].derived_keys is None
+
+    def test_reflected_confirm_tag_rejected(self):
+        """Confirmation tags are direction-bound: replaying the
+        follower's own CONFIRM back as the leader's ack must fail."""
+        leader, followers = make_engines(FAST)
+        captured = {}
+
+        def reflect(src, dst, frame):
+            if frame.type is FrameType.CONFIRM:
+                captured["tag"] = frame.body
+            if frame.type is FrameType.CONFIRM_ACK:
+                return Frame(FrameType.CONFIRM_ACK, captured["tag"])
+            return frame
+
+        with pytest.raises(ConfirmationError):
+            pump(leader, followers, mutate=reflect)
+        assert followers["bob"].phase is SessionPhase.FAILED
+        assert followers["bob"].derived_keys is None

@@ -1,0 +1,246 @@
+"""Property tests for the length-prefixed frame codec.
+
+The codec is the service's trust boundary with the network: every byte
+a peer sends passes through :class:`repro.service.frames.FrameDecoder`
+before any protocol logic sees it.  Hypothesis drives the invariants a
+stream codec must hold unconditionally: encode/decode round-trips,
+reassembly across arbitrary chunk boundaries, and terminal rejection of
+oversized, truncated, and corrupted frames.
+"""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import ReceptionReport
+from repro.service.frames import (
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameCorrupt,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    FrameTruncated,
+    FrameType,
+    WireBlockDescriptor,
+    WireHello,
+    WirePhase2Descriptor,
+    WireXPacket,
+    WireZContent,
+    encode_frame,
+    pack_report,
+    unpack_report,
+)
+
+frames_st = st.builds(
+    Frame,
+    type=st.sampled_from(sorted(FrameType)),
+    body=st.binary(max_size=1024),
+)
+
+
+class TestRoundTrip:
+    @given(frame=frames_st)
+    def test_single_frame_roundtrip(self, frame):
+        decoder = FrameDecoder()
+        decoded = decoder.feed(encode_frame(frame))
+        assert decoded == [frame]
+        assert decoder.pending_bytes == 0
+        decoder.eof()  # clean stream end
+
+    @given(
+        frames=st.lists(frames_st, min_size=1, max_size=8),
+        chunk_sizes=st.lists(
+            st.integers(min_value=1, max_value=37), min_size=1, max_size=64
+        ),
+    )
+    def test_reassembly_across_arbitrary_chunks(self, frames, chunk_sizes):
+        """Any chunking of the byte stream yields the same frame sequence.
+
+        This is the TCP reality check: reads return arbitrary slices,
+        including mid-length-prefix and mid-CRC cuts.
+        """
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        pos = 0
+        step = 0
+        while pos < len(stream):
+            size = chunk_sizes[step % len(chunk_sizes)]
+            decoded.extend(decoder.feed(stream[pos : pos + size]))
+            pos += size
+            step += 1
+        decoder.eof()
+        assert decoded == frames
+
+    @given(frames=st.lists(frames_st, min_size=1, max_size=4))
+    def test_byte_at_a_time(self, frames):
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i : i + 1]))
+        assert decoded == frames
+
+
+class TestRejection:
+    @given(extra=st.integers(min_value=1, max_value=4096))
+    def test_oversized_frame_refused_at_encode(self, extra):
+        cap = 256
+        frame = Frame(FrameType.X_PACKET, b"\x00" * (cap + extra))
+        with pytest.raises(FrameTooLarge):
+            encode_frame(frame, max_frame_bytes=cap)
+
+    @given(declared=st.integers(min_value=1, max_value=2**32 - 1 - 512))
+    def test_oversized_declared_length_rejected_before_buffering(self, declared):
+        """A hostile length prefix can never balloon memory: the decoder
+        rejects it from the 4-byte header alone."""
+        cap = 512
+        decoder = FrameDecoder(max_frame_bytes=cap)
+        header = struct.pack(">I", cap + declared)
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(header)
+        # The decoder is poisoned: even valid input is now refused.
+        with pytest.raises(FrameError):
+            decoder.feed(encode_frame(Frame(FrameType.HELLO, b"")))
+
+    @given(length=st.integers(min_value=0, max_value=4))
+    def test_impossible_length_rejected(self, length):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameCorrupt):
+            decoder.feed(struct.pack(">I", length) + b"\x00" * length)
+
+    @given(frame=frames_st, cut=st.integers(min_value=0, max_value=2**32))
+    def test_truncated_stream_raises_at_eof(self, frame, cut):
+        encoded = encode_frame(frame)
+        cut = 1 + cut % (len(encoded) - 1)  # 1 <= cut < len: torn frame
+        decoder = FrameDecoder()
+        assert decoder.feed(encoded[:cut]) == []
+        with pytest.raises(FrameTruncated):
+            decoder.eof()
+
+    @given(
+        frame=frames_st,
+        pos=st.integers(min_value=0, max_value=2**32),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_corrupted_byte_rejected_and_terminal(self, frame, pos, flip):
+        """Flipping any bit after the length prefix trips the CRC; the
+        corrupt frame never reaches the caller and the stream is dead."""
+        encoded = bytearray(encode_frame(frame))
+        pos = 4 + pos % (len(encoded) - 4)  # leave the length prefix intact
+        encoded[pos] ^= flip
+        decoder = FrameDecoder()
+        with pytest.raises(FrameCorrupt):
+            decoder.feed(bytes(encoded))
+        with pytest.raises(FrameError):
+            decoder.feed(b"")
+
+    @given(body=st.binary(max_size=64), bad_type=st.integers(min_value=11, max_value=255))
+    def test_unknown_frame_type_rejected(self, body, bad_type):
+        blob = bytes([bad_type]) + body
+        payload = blob + struct.pack(">I", zlib.crc32(blob) & 0xFFFFFFFF)
+        decoder = FrameDecoder()
+        with pytest.raises(FrameCorrupt):
+            decoder.feed(struct.pack(">I", len(payload)) + payload)
+
+    def test_default_cap_is_the_module_constant(self):
+        assert FrameDecoder().max_frame_bytes == MAX_FRAME_BYTES
+
+
+@st.composite
+def reports_st(draw):
+    n_packets = draw(st.integers(min_value=1, max_value=300))
+    received = draw(st.sets(st.integers(min_value=0, max_value=n_packets - 1)))
+    return ReceptionReport(
+        round_id=draw(st.integers(min_value=0, max_value=65535)),
+        terminal="bob",
+        received_ids=frozenset(received),
+        n_packets=n_packets,
+    )
+
+
+class TestMessageBodies:
+    @given(report=reports_st())
+    def test_report_bitmap_roundtrip(self, report):
+        assert unpack_report(pack_report(report), "bob") == report
+
+    @given(
+        role=st.sampled_from([0, 1]),
+        session_id=st.binary(min_size=16, max_size=16),
+        digest=st.binary(min_size=16, max_size=16),
+        name=st.text(max_size=40),
+    )
+    def test_hello_roundtrip(self, role, session_id, digest, name):
+        hello = WireHello(role, session_id, digest, name)
+        assert WireHello.unpack(hello.pack()) == hello
+
+    @given(
+        round_id=st.integers(min_value=0, max_value=65535),
+        x_id=st.integers(min_value=0, max_value=65535),
+        payload=st.binary(max_size=256),
+    )
+    def test_x_packet_roundtrip(self, round_id, x_id, payload):
+        pkt = WireXPacket(round_id, x_id, payload)
+        assert WireXPacket.unpack(pkt.pack()) == pkt
+
+    @given(
+        round_id=st.integers(min_value=0, max_value=65535),
+        blocks=st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=511),
+                    min_size=1,
+                    max_size=12,
+                    unique=True,
+                ),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=6,
+        ),
+    )
+    def test_block_descriptor_roundtrip(self, round_id, blocks):
+        descriptor = WireBlockDescriptor(
+            round_id=round_id,
+            supports=tuple(tuple(support) for support, _ in blocks),
+            rows=tuple(rows for _, rows in blocks),
+        )
+        assert WireBlockDescriptor.unpack(descriptor.pack()) == descriptor
+
+    @given(
+        round_id=st.integers(min_value=0, max_value=65535),
+        chunks=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=6,
+        ),
+    )
+    def test_phase2_descriptor_roundtrip(self, round_id, chunks):
+        sizes = tuple(size for size, _ in chunks)
+        secrets = tuple(min(split, size) for size, split in chunks)
+        publics = tuple(size - secret for size, secret in zip(sizes, secrets))
+        descriptor = WirePhase2Descriptor(round_id, sizes, secrets, publics)
+        assert WirePhase2Descriptor.unpack(descriptor.pack()) == descriptor
+
+    @given(
+        round_id=st.integers(min_value=0, max_value=65535),
+        chunk=st.integers(min_value=0, max_value=65535),
+        row=st.integers(min_value=0, max_value=65535),
+        payload=st.binary(max_size=128),
+    )
+    def test_z_content_roundtrip(self, round_id, chunk, row, payload):
+        content = WireZContent(round_id, chunk, row, payload)
+        assert WireZContent.unpack(content.pack()) == content
+
+    def test_report_rejects_truncated_bitmap(self):
+        report = ReceptionReport(
+            round_id=0, terminal="bob", received_ids=frozenset({0}), n_packets=16
+        )
+        body = pack_report(report)
+        with pytest.raises(FrameCorrupt):
+            unpack_report(body[:-1], "bob")
