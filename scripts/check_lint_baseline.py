@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Enforce that the reprolint baseline only ever shrinks.
+
+The baseline (``lint-baseline.json``) grandfathers violations that
+predate a rule; new code must come in clean, so CI fails any change
+that *adds* an entry.  Removing entries (paying the debt down) is the
+only allowed edit.  Usage::
+
+    python scripts/check_lint_baseline.py --against origin/main
+
+Compares the working-tree baseline to the one at ``--against`` (the
+target branch); a ref that predates the baseline file counts as an
+empty baseline, so introducing the file with entries is also growth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.lint.baseline import load_baseline  # noqa: E402
+
+
+def entries_at(ref: str, path: str) -> frozenset:
+    """Baseline entries at ``ref``, empty when the file does not exist."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{path}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return frozenset()
+    document = json.loads(proc.stdout)
+    return frozenset(document.get("entries", []))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--against",
+        default="origin/main",
+        help="git ref whose baseline is the ceiling (default: origin/main)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="repo-relative baseline path (default: lint-baseline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_baseline(os.path.join(REPO_ROOT, args.baseline)).entries
+    ceiling = entries_at(args.against, args.baseline)
+    grown = sorted(current - ceiling)
+    if grown:
+        print(
+            f"lint baseline grew by {len(grown)} entries vs {args.against} "
+            "(shrink-only: fix the violation or suppress the single line "
+            "with a justified `# reprolint: disable=...`):"
+        )
+        for entry in grown:
+            print(f"  + {entry}")
+        return 1
+    shrunk = len(ceiling - current)
+    print(
+        f"baseline ok: {len(current)} entries"
+        + (f" ({shrunk} paid down vs {args.against})" if shrunk else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

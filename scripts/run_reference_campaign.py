@@ -332,9 +332,9 @@ def main():
     os.makedirs(OUT_DIR, exist_ok=True)
     testbed = build_testbed()
     rng = np.random.default_rng(0)
-    t0 = time.time()
+    t0 = time.perf_counter()
     pmin = calibrate_min_jam_loss(testbed, rng, trials=250)
-    print(f"min_jam_loss = {pmin:.3f} ({time.time()-t0:.0f}s)", flush=True)
+    print(f"min_jam_loss = {pmin:.3f} ({time.perf_counter()-t0:.0f}s)", flush=True)
 
     config = build_config(args.eve_cells)
     if args.eve_cells:
@@ -345,7 +345,7 @@ def main():
         if args.eve_cells:
             suffix += "_eve" + "-".join(str(c) for c in args.eve_cells)
         for label, kwargs in engine_variants(engine, pmin):
-            t1 = time.time()
+            t1 = time.perf_counter()
             sweep_name = (
                 manifest_name(args.manifest, engine, label)
                 if args.manifest is not None
@@ -404,13 +404,13 @@ def main():
                     )
                 print(
                     f"{engine}/{label}: {len(result.records)} experiments in "
-                    f"{time.time()-t1:.0f}s -> {path}",
+                    f"{time.perf_counter()-t1:.0f}s -> {path}",
                     flush=True,
                 )
             else:
                 print(
                     f"{engine}/{label}: sweep {sweep_name} drained in "
-                    f"{time.time()-t1:.0f}s "
+                    f"{time.perf_counter()-t1:.0f}s "
                     f"({len(result.records)} experiments complete)",
                     flush=True,
                 )

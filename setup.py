@@ -30,5 +30,11 @@ setup(
             "pytest-benchmark",
             "hypothesis",
         ],
+        # The static-analysis gate (CI `lint` job): reprolint itself is
+        # dependency-free (stdlib ast), mypy drives the strict-typing
+        # half of the contract.
+        "lint": [
+            "mypy",
+        ],
     },
 )

@@ -31,7 +31,17 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    FrozenSet,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+if TYPE_CHECKING:
+    from repro.coding.privacy import BudgetFn
 
 __all__ = [
     "RoundContext",
@@ -59,15 +69,15 @@ class RoundContext:
     """
 
     leader: str
-    reports: Mapping
+    reports: Mapping[str, AbstractSet[int]]
     n_packets: int = 0
-    eve_received: Optional[frozenset] = None
+    eve_received: Optional[AbstractSet[int]] = None
     #: x-id -> medium slot at transmission time; lets schedule-aware
     #: estimators (artificial interference, §3.3 first idea) reason about
     #: which noise pattern was up for each packet.
-    x_slots: Optional[Mapping] = None
+    x_slots: Optional[Mapping[int, int]] = None
 
-    def miss_rate(self, terminal) -> float:
+    def miss_rate(self, terminal: str) -> float:
         """Empirical global miss rate of one pretend-Eve terminal."""
         if self.n_packets <= 0:
             raise ValueError("n_packets must be set for rate estimates")
@@ -89,14 +99,16 @@ class EveErasureEstimator(abc.ABC):
         return ctx
 
     @abc.abstractmethod
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         """Certified lower bound on Eve's misses among ``ids``.
 
         Returns a float so rate-based estimates scale smoothly with the
         query size; the allocation layer floors once per block.
         """
 
-    def budget_fn(self):
+    def budget_fn(self) -> "BudgetFn":
         """Adapter matching :data:`repro.coding.privacy.BudgetFn`."""
         return self.budget
 
@@ -104,7 +116,9 @@ class EveErasureEstimator(abc.ABC):
 class OracleEstimator(EveErasureEstimator):
     """Ground truth: counts Eve's actual misses.  Simulation-only."""
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         eve_received = self.context.eve_received
         if eve_received is None:
             raise RuntimeError("oracle estimator needs eve_received in the context")
@@ -125,7 +139,9 @@ class FixedFractionEstimator(EveErasureEstimator):
             raise ValueError("fraction must be in [0, 1]")
         self.fraction = fraction
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         return self.fraction * len(ids)
 
 
@@ -156,14 +172,16 @@ class LeaveOneOutEstimator(EveErasureEstimator):
             raise ValueError("rate_margin must be in [0, 1]")
         self.rate_margin = rate_margin
 
-    def _worst_rate(self, exclude: frozenset) -> float:
+    def _worst_rate(self, exclude: FrozenSet[str]) -> float:
         ctx = self.context
         candidates = [t for t in ctx.reports if t not in exclude]
         if not candidates:
             return 0.0
         return min(ctx.miss_rate(t) for t in candidates)
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         rate = max(self._worst_rate(exclude) - self.rate_margin, 0.0)
         return rate * len(ids)
 
@@ -188,7 +206,9 @@ class CombinedEstimator(EveErasureEstimator):
         for estimator in self.estimators:
             estimator.begin_round(context)
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         return min(e.budget(ids, exclude) for e in self.estimators)
 
 
@@ -206,7 +226,9 @@ class NaiveLeaveOneOutEstimator(EveErasureEstimator):
             raise ValueError("margin must be non-negative")
         self.margin = margin
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         reports = self.context.reports
         candidates = [t for t in reports if t not in exclude]
         if not candidates:
@@ -234,7 +256,9 @@ class CollusionEstimator(EveErasureEstimator):
         self.k = k
         self.rate_margin = rate_margin
 
-    def budget(self, ids: Sequence[int], exclude: frozenset = frozenset()) -> float:
+    def budget(
+        self, ids: Sequence[int], exclude: FrozenSet[str] = frozenset()
+    ) -> float:
         ctx = self.context
         candidates = [t for t in ctx.reports if t not in exclude]
         if len(candidates) < self.k or ctx.n_packets <= 0:

@@ -27,7 +27,7 @@ exercised by a Monte-Carlo cross-check in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import FrozenSet, Sequence, Tuple
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class LeakageReport:
 
 def stacked_secret_maps(
     allocation: YAllocation, plan: GroupCodingPlan, all_x_ids: Sequence[int]
-) -> tuple:
+) -> Tuple[np.ndarray, np.ndarray]:
     """(Z·G, S·G): the x-to-z and x-to-s linear maps, stacked over chunks.
 
     ``G`` is the global y-map; columns follow ``all_x_ids`` order.
@@ -93,7 +93,7 @@ def stacked_secret_maps(
 def round_leakage(
     allocation: YAllocation,
     plan: GroupCodingPlan,
-    eve_received_ids: frozenset,
+    eve_received_ids: FrozenSet[int],
     all_x_ids: Sequence[int],
 ) -> LeakageReport:
     """Compute Eve's exact uncertainty about one round's secret.

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, FrozenSet, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.coding.privacy import GroupCodingPlan, YAllocation
 
 __all__ = [
     "ReceptionReport",
@@ -38,7 +41,7 @@ class ReceptionReport:
 
     round_id: int
     terminal: str
-    received_ids: frozenset
+    received_ids: FrozenSet[int]
     n_packets: int
 
     def body_bytes(self) -> int:
@@ -55,11 +58,13 @@ class BlockDescriptorSet:
     """
 
     round_id: int
-    supports: tuple  # tuple of per-block support-id tuples
-    rows: tuple  # tuple of per-block row counts
+    supports: Tuple[Tuple[int, ...], ...]  # per-block support-id tuples
+    rows: Tuple[int, ...]  # per-block row counts
 
     @classmethod
-    def from_allocation(cls, round_id: int, allocation) -> "BlockDescriptorSet":
+    def from_allocation(
+        cls, round_id: int, allocation: "YAllocation"
+    ) -> "BlockDescriptorSet":
         return cls(
             round_id=round_id,
             supports=tuple(tuple(b.support) for b in allocation.blocks),
@@ -79,11 +84,13 @@ class Phase2Descriptor:
     """Leader -> group: chunk structure of the z/s maps."""
 
     round_id: int
-    chunk_sizes: tuple
-    secret_counts: tuple
+    chunk_sizes: Tuple[int, ...]
+    secret_counts: Tuple[int, ...]
 
     @classmethod
-    def from_plan(cls, round_id: int, plan) -> "Phase2Descriptor":
+    def from_plan(
+        cls, round_id: int, plan: "GroupCodingPlan"
+    ) -> "Phase2Descriptor":
         return cls(
             round_id=round_id,
             chunk_sizes=tuple(c.size for c in plan.chunks),

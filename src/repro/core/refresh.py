@@ -16,7 +16,7 @@ identical secret and deposits are made in epoch order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -75,7 +75,7 @@ class RefreshingGroup:
         if self.bootstrap is not None:
             self.channel = AuthenticatedChannel.from_bootstrap(self.bootstrap)
         self._epoch = 0
-        self.history: list = []
+        self.history: List[EpochReport] = []
 
     # -- key generation --------------------------------------------------
 

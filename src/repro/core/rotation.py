@@ -12,13 +12,13 @@ concatenating the per-round group secrets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.estimator import EveErasureEstimator
 from repro.core.metrics import ExperimentMetrics
-from repro.core.session import ProtocolSession, SessionConfig
+from repro.core.session import ProtocolSession, RoundResult, SessionConfig
 from repro.net.medium import BroadcastMedium
 
 __all__ = ["ExperimentResult", "run_experiment"]
@@ -28,7 +28,7 @@ __all__ = ["ExperimentResult", "run_experiment"]
 class ExperimentResult:
     """Outcome of a full rotated experiment."""
 
-    rounds: list
+    rounds: List[RoundResult]
     metrics: ExperimentMetrics
 
     @property

@@ -39,14 +39,14 @@ class GroupSecret:
     def to_bytes(self) -> bytes:
         return self.packets.tobytes()
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, GroupSecret):
             return NotImplemented
         return self.packets.shape == other.packets.shape and bool(
             np.all(self.packets == other.packets)
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.packets.shape, self.packets.tobytes()))
 
 

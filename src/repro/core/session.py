@@ -30,7 +30,7 @@ by the medium, feeding :func:`repro.core.eve.round_leakage`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -108,12 +108,12 @@ class RoundResult:
     leader: str
     round_id: int
     n_x_packets: int
-    reports: dict
+    reports: Dict[str, Set[int]]
     allocation: YAllocation
     plan: GroupCodingPlan
     secret: np.ndarray  # (L, payload_bytes)
     leakage: LeakageReport
-    eve_received_ids: frozenset
+    eve_received_ids: FrozenSet[int]
 
     @property
     def secret_packets(self) -> int:
@@ -167,13 +167,15 @@ class ProtocolSession:
 
     # -- phase 1 -------------------------------------------------------
 
-    def _broadcast_x_packets(self, leader: str, round_id: int) -> tuple:
+    def _broadcast_x_packets(
+        self, leader: str, round_id: int
+    ) -> Tuple[np.ndarray, Dict[int, int]]:
         cfg = self.config
         payloads = self.rng.integers(
             0, 256, size=(cfg.n_x_packets, cfg.payload_bytes), dtype=np.uint8
         )
         eve = self.medium.node(self.eve_name) if self.eve_name else None
-        x_slots: dict = {}
+        x_slots: Dict[int, int] = {}
         for x_id in range(cfg.n_x_packets):
             packet = Packet(
                 kind=PacketKind.X_DATA,
@@ -191,9 +193,11 @@ class ProtocolSession:
                     eve.record(round_id, x_id, payloads[x_id])
         return payloads, x_slots
 
-    def _collect_reports(self, leader: str, round_id: int) -> dict:
+    def _collect_reports(
+        self, leader: str, round_id: int
+    ) -> Dict[str, Set[int]]:
         cfg = self.config
-        reports: dict = {}
+        reports: Dict[str, Set[int]] = {}
         receivers = [t for t in self.terminal_names if t != leader]
         for name in receivers:
             node = self.medium.node(name)
@@ -243,10 +247,10 @@ class ProtocolSession:
         round_id: int,
         plan: GroupCodingPlan,
         y_values: np.ndarray,
-    ) -> dict:
+    ) -> Dict[int, np.ndarray]:
         cfg = self.config
         receivers = [t for t in self.terminal_names if t != leader]
-        z_by_chunk: dict = {}
+        z_by_chunk: Dict[int, np.ndarray] = {}
         for chunk_idx, chunk in enumerate(plan.chunks):
             if chunk.n_public == 0:
                 z_by_chunk[chunk_idx] = np.zeros(
@@ -361,7 +365,7 @@ class ProtocolSession:
             known = decode_y_from_x(
                 allocation, name, node.received_payloads(round_id)
             )
-            full: dict = {}
+            full: Dict[int, np.ndarray] = {}
             for chunk_idx, chunk in enumerate(plan.chunks):
                 full.update(
                     recover_missing_y(chunk, known, z_by_chunk[chunk_idx])

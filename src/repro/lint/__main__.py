@@ -1,0 +1,118 @@
+"""``python -m repro.lint`` — run the reproducibility contract.
+
+Exit status: 0 when the tree is clean against the baseline, 1 when new
+violations fired (or the baseline holds stale, already-fixed entries —
+it is shrink-only by construction), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.rules import iter_rules
+from repro.lint.runner import lint_paths
+
+DEFAULT_PATHS = ("src", "scripts")
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _list_rules() -> str:
+    blocks: List[str] = []
+    for rule in iter_rules():
+        patrols = ", ".join(rule.patrols)
+        blocks.append(
+            f"{rule.id} ({rule.name})\n"
+            f"  patrols: {patrols}\n"
+            f"  why: {rule.rationale}"
+        )
+    return "\n".join(blocks)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-enforced determinism, sans-io and durability contract",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered violations "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every violation, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current violations and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule, its patrol area and rationale",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        report = lint_paths(args.paths, root=Path.cwd())
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        baseline = write_baseline(args.baseline, report.violations)
+        print(
+            f"wrote {len(baseline.entries)} entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} to {args.baseline}"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline) if not args.no_baseline else None
+    violations = (
+        list(report.violations)
+        if baseline is None
+        else baseline.new_violations(report.violations)
+    )
+    stale = baseline.stale_entries(report.violations) if baseline is not None else []
+
+    for violation in violations:
+        print(violation.render())
+    for fingerprint in stale:
+        print(
+            f"stale baseline entry {fingerprint}: the violation no longer "
+            f"fires — remove it from {args.baseline} (shrink-only)"
+        )
+    grandfathered = (
+        len(report.violations) - len(violations) if baseline is not None else 0
+    )
+    summary = (
+        f"{report.files_checked} files checked, {len(violations)} new "
+        f"violation{'s' if len(violations) != 1 else ''}"
+    )
+    if grandfathered:
+        summary += f", {grandfathered} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entries"
+    print(summary)
+    return 1 if violations or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The committed, shrink-only violation baseline.
+
+The baseline exists so the pass could have been introduced against a
+dirty tree without a flag day; this repository's baseline is **empty**
+(every violation the rules surfaced was fixed, not grandfathered) and
+CI enforces that it only ever shrinks — a violation can be paid down,
+never added.  Entries are violation fingerprints (``rule:path:line``),
+stored sorted so diffs are reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Iterable, List
+
+from repro.lint.rules import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A set of grandfathered violation fingerprints."""
+
+    entries: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __contains__(self, violation: Violation) -> bool:
+        return violation.fingerprint in self.entries
+
+    def new_violations(self, violations: Iterable[Violation]) -> List[Violation]:
+        return [v for v in violations if v not in self]
+
+    def stale_entries(self, violations: Iterable[Violation]) -> List[str]:
+        """Grandfathered entries that no longer fire — must be removed."""
+        live = {v.fingerprint for v in violations}
+        return sorted(self.entries - live)
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a reprolint baseline (version {_VERSION})")
+    entries = document.get("entries", [])
+    if not isinstance(entries, list) or not all(
+        isinstance(entry, str) for entry in entries
+    ):
+        raise ValueError(f"{path}: baseline entries must be a list of strings")
+    return Baseline(entries=frozenset(entries))
+
+
+def write_baseline(path: Path | str, violations: Iterable[Violation]) -> Baseline:
+    """Rewrite the baseline to exactly the given violations."""
+    baseline = Baseline(entries=frozenset(v.fingerprint for v in violations))
+    document = {"version": _VERSION, "entries": sorted(baseline.entries)}
+    Path(path).write_text(
+        json.dumps(document, indent=1) + "\n", encoding="utf-8"
+    )
+    return baseline

@@ -42,7 +42,7 @@ from __future__ import annotations
 import hmac
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -144,7 +144,7 @@ class SessionSnapshot:
     secret_rows: int
     established: bool
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, object]:
         return {
             "role": self.role,
             "name": self.name,
@@ -188,7 +188,7 @@ def stack_secrets(pieces: List[np.ndarray]) -> np.ndarray:
 
 
 def allocation_from_descriptor(
-    descriptor: WireBlockDescriptor, terminal: str, received_ids: frozenset
+    descriptor: WireBlockDescriptor, terminal: str, received_ids: FrozenSet[int]
 ) -> YAllocation:
     """Rebuild the leader's y-plan from the wire descriptor, locally.
 
@@ -355,7 +355,7 @@ class FollowerEngine(_EngineBase):
         self._received: Dict[int, np.ndarray] = {}
         self._allocation: Optional[YAllocation] = None
         self._plan: Optional[GroupCodingPlan] = None
-        self._known: Optional[dict] = None
+        self._known: Optional[Dict[int, np.ndarray]] = None
         self._z_buf: Dict[int, Dict[int, np.ndarray]] = {}
 
     def snapshot(self) -> SessionSnapshot:
@@ -529,7 +529,7 @@ class FollowerEngine(_EngineBase):
         for idx, chunk in enumerate(self._plan.chunks):
             if len(self._z_buf[idx]) < chunk.n_public:
                 return []
-        full: dict = {}
+        full: Dict[int, np.ndarray] = {}
         for idx, chunk in enumerate(self._plan.chunks):
             z_payloads = (
                 np.vstack([self._z_buf[idx][r] for r in range(chunk.n_public)])
@@ -623,10 +623,10 @@ class LeaderEngine(_EngineBase):
         )
         self.phase = SessionPhase.AWAIT_HELLOS
         self.round_id = 0
-        self._present: set = set()
+        self._present: Set[str] = set()
         self._payloads: Optional[np.ndarray] = None
-        self._reports: Dict[str, set] = {}
-        self._confirmed: set = set()
+        self._reports: Dict[str, Set[int]] = {}
+        self._confirmed: Set[str] = set()
 
     def snapshot(self) -> SessionSnapshot:
         return SessionSnapshot(

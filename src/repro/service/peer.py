@@ -433,7 +433,7 @@ class LoadReport:
     failure_types: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, object]:
         return {
             "sessions": self.sessions,
             "established": self.established,

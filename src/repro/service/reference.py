@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.session import ProtocolSession, SessionConfig
 from repro.net.medium import BroadcastMedium, LossModel
-from repro.net.node import Eavesdropper, Terminal
+from repro.net.node import Eavesdropper, Node, Terminal
 from repro.net.packet import Packet, PacketKind
 from repro.service.config import ServiceConfig
 from repro.service.derive import DerivedKeys, derive_session_keys
@@ -59,7 +59,15 @@ class TraceLossModel(LossModel):
     def __init__(self, traces: Mapping[str, np.ndarray]) -> None:
         self.traces = {name: np.asarray(t, dtype=bool) for name, t in traces.items()}
 
-    def lost_at(self, src, position, dst, packet: Packet, slot, rng) -> bool:
+    def lost_at(
+        self,
+        src: Node,
+        position: object,
+        dst: Node,
+        packet: Packet,
+        slot: int,
+        rng: np.random.Generator,
+    ) -> bool:
         if packet.kind is not PacketKind.X_DATA:
             return False
         trace = self.traces.get(dst.name)
@@ -82,7 +90,7 @@ def build_reference_session(
     allocation planning sees identical inputs.
     """
     traces = {name: config.erasure_trace(name) for name in followers}
-    nodes: List = [Terminal(name) for name in (leader, *followers)]
+    nodes: List[Node] = [Terminal(name) for name in (leader, *followers)]
     oracle = config.estimator_kind == "oracle"
     if oracle:
         traces[_EVE_NODE] = config.eve_trace()

@@ -24,7 +24,7 @@ import abc
 import asyncio
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.service.errors import TransportClosed
 from repro.service.frames import (
@@ -171,7 +171,7 @@ class FaultSpec:
     reorder: float = 0.0
     delay: float = 0.0
     delay_s: float = 0.0
-    kinds: Optional[frozenset] = None
+    kinds: Optional[FrozenSet[int]] = None
 
     def __post_init__(self) -> None:
         for name in ("drop", "duplicate", "reorder", "delay"):

@@ -28,7 +28,10 @@ if wired into the package ``__init__``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.store.manifest import SweepManifest
 
 from repro.analysis.stats import (
     ReliabilityAccumulator,
@@ -65,7 +68,7 @@ class GroupAggregates:
         self.efficiency.merge(other.efficiency)
 
 
-def _fold_record(record: dict, groups: Dict[int, GroupAggregates]) -> None:
+def _fold_record(record: Dict[str, Any], groups: Dict[int, GroupAggregates]) -> None:
     kind = record.get("kind")
     if kind == "experiment":
         n = int(record["n_terminals"])
@@ -88,7 +91,7 @@ def _fold_record(record: dict, groups: Dict[int, GroupAggregates]) -> None:
 def stream_aggregates(
     store: CampaignStore,
     keys: Optional[Iterable[str]] = None,
-    manifest=None,
+    manifest: Optional[Union["SweepManifest", str]] = None,
 ) -> Dict[int, GroupAggregates]:
     """Fold a store's records into per-group-size aggregates.
 

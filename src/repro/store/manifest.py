@@ -36,7 +36,19 @@ import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.store.store import CampaignStore
 
 __all__ = ["ManifestEntry", "SweepManifest", "list_manifests"]
 
@@ -168,7 +180,7 @@ class SweepManifest:
             version=int(data.get("version", 1)),
         )
 
-    def save(self, store) -> "SweepManifest":
+    def save(self, store: "CampaignStore") -> "SweepManifest":
         """Atomically write this manifest next to the store's shards.
 
         Idempotent-by-content: when the stored document already
@@ -214,7 +226,7 @@ class SweepManifest:
 
     @classmethod
     def load(
-        cls, store, name: str, missing_ok: bool = False
+        cls, store: "CampaignStore", name: str, missing_ok: bool = False
     ) -> Optional["SweepManifest"]:
         """Read the named manifest from the store root."""
         path = _manifest_path(Path(store.root), name)
@@ -228,7 +240,7 @@ class SweepManifest:
             return cls.from_json(json.load(f))
 
 
-def list_manifests(store) -> List[str]:
+def list_manifests(store: "CampaignStore") -> List[str]:
     """Every manifest name present in the store root, sorted."""
     root = Path(store.root)
     return sorted(

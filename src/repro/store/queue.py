@@ -14,6 +14,12 @@ work:
 * **Heartbeats + expiry reclaim.**  A live worker refreshes its leases'
   mtimes (:meth:`WorkQueue.heartbeat`); a lease whose mtime is older
   than ``lease_timeout`` belonged to a dead worker and may be broken.
+  Age is judged on the *filesystem's* clock (the mtime of a freshly
+  touched probe file — :meth:`WorkQueue._fs_now`), never the worker's
+  wall clock: mtimes are stamped by the filesystem host (think NFS
+  server), and ``time.time()`` deltas against a foreign clock domain
+  mis-age leases under skew.  Wall-clock time appears only in the
+  ``claimed_at`` metadata field.
   Breaking is itself race-safe: a breaker must first win an ``O_EXCL``
   *breaker lock* (``<key>.lease.break``), re-verify expiry while
   holding it (the lease might have been broken and freshly re-claimed
@@ -53,15 +59,17 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import socket
 import threading
 import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.store.manifest import SweepManifest
+from repro.store.store import CampaignStore
 
 __all__ = [
     "LeaseInfo",
@@ -130,13 +138,15 @@ class WorkQueue:
 
     def __init__(
         self,
-        store,
-        manifest,
+        store: CampaignStore,
+        manifest: Union[SweepManifest, str],
         owner: Optional[str] = None,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     ) -> None:
         if isinstance(manifest, str):
-            manifest = SweepManifest.load(store, manifest)
+            loaded = SweepManifest.load(store, manifest)
+            assert loaded is not None  # load without missing_ok raises
+            manifest = loaded
         if not isinstance(manifest, SweepManifest):
             raise TypeError(f"{manifest!r} is not a SweepManifest")
         if lease_timeout <= 0:
@@ -150,7 +160,11 @@ class WorkQueue:
         # The store is append-only and records never un-complete, so
         # "done" is monotone — cache it to keep the polling loop from
         # re-parsing finished shards on every pass.
-        self._done_cache: set = set()
+        self._done_cache: Set[str] = set()
+        # Per-worker clock probe (see _fs_now); dots/hex lease names
+        # cannot collide with it, and the sanitising keeps the owner's
+        # host:pid:nonce id a portable filename.
+        self._clock_probe = f".clock.{re.sub(r'[^A-Za-z0-9._-]', '-', self.owner)}"
 
     # -- paths and parsing --------------------------------------------------
 
@@ -167,14 +181,49 @@ class WorkQueue:
         except (OSError, ValueError, KeyError):
             return None
 
-    def lease_info(self, key: str) -> Optional[LeaseInfo]:
-        """The key's current lease, or None when unleased."""
+    def _fs_now(self) -> float:
+        """'Now' in the clock domain that stamps lease mtimes.
+
+        Lease age is mtime arithmetic, and mtimes are set by the
+        filesystem host — on a shared filesystem, *its* clock, not this
+        worker's.  Touching a probe file and reading its mtime back
+        yields a "now" in that same domain, so expiry judgements are
+        immune to skew between the worker's wall clock and the
+        filesystem's (and the worker's wall clock never enters
+        duration math at all).
+
+        When the probe cannot be written (a read-only status view of a
+        foreign store), the host wall clock is the best remaining
+        approximation; a mis-judged expiry there is harmless because
+        breaking re-verifies under the breaker lock and completion is
+        idempotent.
+        """
+        probe = self.lease_dir / self._clock_probe
+        try:
+            fd = os.open(probe, os.O_CREAT | os.O_WRONLY, 0o644)
+            os.close(fd)
+            os.utime(probe)
+            return probe.stat().st_mtime
+        except OSError:
+            return time.time()
+
+    def lease_info(self, key: str, now: Optional[float] = None) -> Optional[LeaseInfo]:
+        """The key's current lease, or None when unleased.
+
+        Args:
+            key: a manifest shard key.
+            now: the filesystem-clock reference to age against;
+                defaults to a fresh :meth:`_fs_now` probe (pass it
+                explicitly when scanning many keys in one sweep).
+        """
         path = self._lease_path(key)
         try:
             st = path.stat()
         except FileNotFoundError:
             return None
-        age = max(0.0, time.time() - st.st_mtime)
+        if now is None:
+            now = self._fs_now()
+        age = max(0.0, now - st.st_mtime)
         return LeaseInfo(
             key=key,
             owner=self._read_owner(path),
@@ -200,8 +249,10 @@ class WorkQueue:
 
     # -- claim / heartbeat / release ------------------------------------------
 
-    def _expired(self, st) -> bool:
-        return time.time() - st.st_mtime >= self.lease_timeout
+    def _expired(self, st: os.stat_result, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = self._fs_now()
+        return now - st.st_mtime >= self.lease_timeout
 
     def _break_stale_lease(self, path: Path) -> None:
         """Unlink an expired lease under the key's breaker lock.
@@ -334,11 +385,14 @@ class WorkQueue:
     def status(self) -> QueueStatus:
         """Count every manifest key into done/claimed/stale/pending."""
         done = claimed = stale = pending = 0
+        now: Optional[float] = None
         for key in self.manifest.keys():
             if self.is_done(key):
                 done += 1  # leftover lease files on done keys are noise
                 continue
-            lease = self.lease_info(key)
+            if now is None:
+                now = self._fs_now()  # one probe per scan, not per key
+            lease = self.lease_info(key, now=now)
             if lease is None:
                 pending += 1
             elif lease.expired:
@@ -355,9 +409,10 @@ class WorkQueue:
 
     def leases(self) -> Dict[str, LeaseInfo]:
         """Every currently leased key's lease, keyed by shard key."""
-        infos = {}
+        infos: Dict[str, LeaseInfo] = {}
+        now = self._fs_now()
         for key in self.manifest.keys():
-            info = self.lease_info(key)
+            info = self.lease_info(key, now=now)
             if info is not None:
                 infos[key] = info
         return infos
@@ -365,7 +420,7 @@ class WorkQueue:
 
 def drain_manifest(
     queue: WorkQueue,
-    run_keys,
+    run_keys: Callable[[List[str]], object],
     batch_size: int = 1,
     poll_interval: float = 0.05,
 ) -> List[str]:
@@ -399,7 +454,7 @@ def drain_manifest(
         if claimed:
             stop = threading.Event()
 
-            def heartbeat_loop(keys=tuple(claimed)) -> None:
+            def heartbeat_loop(keys: Tuple[str, ...] = tuple(claimed)) -> None:
                 while not stop.wait(queue.lease_timeout / 3.0):
                     queue.heartbeat_all(keys)
 

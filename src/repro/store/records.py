@@ -27,7 +27,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:
+    from repro.analysis.experiments import ExperimentRecord
+    from repro.sim.campaign import ScenarioOutcome
 
 import numpy as np
 
@@ -141,7 +145,7 @@ def decode_spec(data: Any) -> Any:
 # -- testbed experiment records ------------------------------------------
 
 
-def experiment_record_to_json(record) -> dict:
+def experiment_record_to_json(record: "ExperimentRecord") -> Dict[str, Any]:
     """:class:`ExperimentRecord` -> one JSONL line's payload."""
     return {
         "kind": "experiment",
@@ -154,7 +158,7 @@ def experiment_record_to_json(record) -> dict:
     }
 
 
-def experiment_record_from_json(data: dict):
+def experiment_record_from_json(data: Dict[str, Any]) -> "ExperimentRecord":
     """Rebuild the :class:`ExperimentRecord` bit-identically."""
     from repro.analysis.experiments import ExperimentRecord
 
@@ -186,10 +190,10 @@ _BATCH_ARRAYS = {
 }
 
 
-def scenario_outcome_to_json(outcome) -> dict:
+def scenario_outcome_to_json(outcome: "ScenarioOutcome") -> Dict[str, Any]:
     """:class:`ScenarioOutcome` -> one JSONL line's payload."""
     result = outcome.result
-    payload: dict = {
+    payload: Dict[str, Any] = {
         "kind": "sim-cell",
         "scenario": encode_spec(outcome.scenario),
     }
@@ -198,7 +202,7 @@ def scenario_outcome_to_json(outcome) -> dict:
     return payload
 
 
-def scenario_outcome_from_json(data: dict):
+def scenario_outcome_from_json(data: Dict[str, Any]) -> "ScenarioOutcome":
     """Rebuild the :class:`ScenarioOutcome` (arrays, dtypes and all)."""
     from repro.sim.campaign import ScenarioOutcome
     from repro.sim.engine import BatchResult

@@ -35,7 +35,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 __all__ = ["CampaignStore"]
 
@@ -51,7 +51,7 @@ class CampaignStore:
             unwritable path rather than mid-campaign).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -137,7 +137,9 @@ class CampaignStore:
             latest = record
         return latest
 
-    def stream(self, keys=None) -> Iterator[Dict[str, Any]]:
+    def stream(
+        self, keys: Optional[Iterable[str]] = None
+    ) -> Iterator[Dict[str, Any]]:
         """Yield every shard's effective record, one at a time.
 
         Args:

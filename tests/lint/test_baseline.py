@@ -1,0 +1,56 @@
+"""Baseline semantics: grandfathering, shrink-only staleness, round-trip."""
+
+import json
+
+import pytest
+
+from repro.lint import lint_source, load_baseline, write_baseline
+from repro.lint.baseline import Baseline
+
+pytestmark = pytest.mark.lint
+
+BAD = "seed = hash(key)\n"
+PATH = "src/repro/sim/example.py"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert baseline.entries == frozenset()
+
+
+def test_round_trip(tmp_path):
+    found = lint_source(BAD, PATH)
+    assert len(found) == 1
+    path = tmp_path / "baseline.json"
+    write_baseline(path, found)
+    assert load_baseline(path).entries == {found[0].fingerprint}
+
+
+def test_grandfathered_violation_is_not_new(tmp_path):
+    found = lint_source(BAD, PATH)
+    baseline = Baseline(entries=frozenset(v.fingerprint for v in found))
+    assert baseline.new_violations(found) == []
+    assert baseline.stale_entries(found) == []
+
+
+def test_fixed_violation_becomes_stale_entry():
+    found = lint_source(BAD, PATH)
+    baseline = Baseline(entries=frozenset(v.fingerprint for v in found))
+    # After the fix nothing fires; the grandfathered entry must go.
+    assert baseline.stale_entries([]) == sorted(baseline.entries)
+
+
+def test_new_violation_is_reported_against_baseline():
+    baseline = Baseline(entries=frozenset({"R1:somewhere/else.py:1"}))
+    found = lint_source(BAD, PATH)
+    assert baseline.new_violations(found) == found
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 1, "entries": [3]}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
