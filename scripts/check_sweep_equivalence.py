@@ -15,14 +15,18 @@ Usage::
     python scripts/check_sweep_equivalence.py STORE_A STORE_B \\
         [--manifest PREFIX]
 
-Every manifest present in STORE_A (optionally filtered by name prefix)
-is checked; exits non-zero listing each divergent or missing shard.
+Stores are named by URI (``file:DIR``, ``sqlite:PATH.db``,
+``mem:NAME``) or a bare directory path, so the nightly drills can
+byte-diff a sqlite drain — or an exported ``mem:`` drill — directly
+against the serial filesystem baseline.  Every manifest present in
+STORE_A (optionally filtered by name prefix) is checked; exits
+non-zero listing each divergent or missing shard.
 """
 
 import argparse
 import sys
 
-from repro.store import CampaignStore, SweepManifest, list_manifests
+from repro.store import SweepManifest, list_manifests, open_store
 from repro.store.aggregate import stream_aggregates
 
 
@@ -68,8 +72,12 @@ def compare_manifest(name, store_a, store_b):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("store_a", metavar="STORE_A")
-    parser.add_argument("store_b", metavar="STORE_B")
+    parser.add_argument(
+        "store_a", metavar="STORE_A", help="store URI or directory path"
+    )
+    parser.add_argument(
+        "store_b", metavar="STORE_B", help="store URI or directory path"
+    )
     parser.add_argument(
         "--manifest",
         metavar="PREFIX",
@@ -77,8 +85,12 @@ def main():
         help="only manifests whose name starts with PREFIX",
     )
     args = parser.parse_args()
-    store_a = CampaignStore(args.store_a)
-    store_b = CampaignStore(args.store_b)
+    try:
+        store_a = open_store(args.store_a, create=False)
+        store_b = open_store(args.store_b, create=False)
+    except FileNotFoundError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
     names = [
         name
         for name in list_manifests(store_a)

@@ -20,32 +20,39 @@ SeedSequence-derived RNG streams, so sharded runs are bit-identical to
 serial ones at the same seed.  ``auto`` (the default) picks a process
 pool for large placement grids and threads for small ones.
 
-Persistence (``--store DIR``, ``--resume``): every completed
-experiment is appended to a content-keyed JSONL shard in DIR the
-moment it finishes (see :mod:`repro.store`); with ``--resume`` a
-re-run loads finished experiments instead of recomputing them, so an
-interrupted campaign restarts from the last completed placement and
-ends bit-identical to an uninterrupted run.  With a store, the summary
-tables are computed by *streaming* the stored records through the
-merge-able accumulators in :mod:`repro.analysis.stats` — the
-experiment population is never materialised.
+Persistence (``--store URI``, ``--resume``): every completed
+experiment is appended to a content-keyed record shard the moment it
+finishes (see :mod:`repro.store`); with ``--resume`` a re-run loads
+finished experiments instead of recomputing them, so an interrupted
+campaign restarts from the last completed placement and ends
+bit-identical to an uninterrupted run.  The store target is a URI
+selecting the backend — ``file:DIR`` (a bare path means the same),
+``sqlite:PATH.db`` or ``mem:NAME`` — and every backend gives the same
+crash-safety contract (see ``tests/store/conformance``).  With a
+store, the summary tables are computed by *streaming* the stored
+records through the merge-able accumulators in
+:mod:`repro.analysis.stats` — the experiment population is never
+materialised.  ``--export-store URI`` copies the finished store
+(shards byte-for-byte, plus manifests) to a second backend at exit —
+the durability hand-off for a ``mem:`` drill.
 
 Multi-host sweeps (``--manifest NAME``, ``--worker``,
 ``--workers-per-host N``): with a manifest, each campaign variant is
 saved as a named :class:`repro.store.SweepManifest` next to the shards
 (``NAME-<engine>-<variant>``) and drained through the crash-safe
 :class:`repro.store.WorkQueue` — any number of script invocations
-pointed at the same store directory (one host, or many hosts sharing a
-filesystem) drain the sweep together, SIGKILLed workers' leases expire
-and are reclaimed, and the final aggregates are bit-identical to a
-serial run.  ``--workers-per-host N`` forks N-1 extra drain processes
-locally; ``--worker`` joins a sweep without writing JSON snapshots
-(for secondary hosts).  ``sweep-status`` reports per-manifest
-done/claimed/stale/pending counts:
+pointed at the same store (one host sharing a directory or sqlite
+file, or many hosts sharing a filesystem) drain the sweep together,
+SIGKILLed workers' leases expire and are reclaimed, and the final
+aggregates are bit-identical to a serial run.  ``--workers-per-host
+N`` forks N-1 extra drain processes locally; ``--worker`` joins a
+sweep without writing JSON snapshots (for secondary hosts).
+``sweep-status`` reports per-manifest done/claimed/stale/pending
+counts:
 
 .. code-block:: text
 
-    python scripts/run_reference_campaign.py sweep-status --store DIR
+    python scripts/run_reference_campaign.py sweep-status --store URI
 """
 
 import argparse
@@ -70,7 +77,13 @@ from repro.sim import (
     FixedFractionEstimatorSpec,
     LeaveOneOutEstimatorSpec,
 )
-from repro.store import CampaignStore, SweepManifest, WorkQueue, list_manifests
+from repro.store import (
+    SweepManifest,
+    WorkQueue,
+    copy_store,
+    list_manifests,
+    open_store,
+)
 from repro.store.aggregate import stream_aggregates
 from repro.testbed.estimator import (
     InterferenceAwareEstimator,
@@ -167,7 +180,7 @@ def manifest_name(base, engine, label):
     return f"{base}-{engine}-{label}"
 
 
-def _drain_worker(store_dir, base_name, engine, label, pmin, eve_cells):
+def _drain_worker(store_uri, base_name, engine, label, pmin, eve_cells):
     """One extra drain process of a manifest sweep (module-level so it
     forks/spawns cleanly).  Errors are fatal to this worker only: its
     leases expire and surviving workers reclaim the work."""
@@ -178,7 +191,7 @@ def _drain_worker(store_dir, base_name, engine, label, pmin, eve_cells):
         testbed,
         config=config,
         engine=engine,
-        store=CampaignStore(store_dir),
+        store=open_store(store_uri),
         manifest=manifest_name(base_name, engine, label),
         rounds_per_leader=ROUNDS_PER_LEADER,
         **kwargs,
@@ -192,7 +205,7 @@ def sweep_status(argv):
         description="Report done/claimed/stale/pending counts for every "
         "sweep manifest in a store directory.",
     )
-    parser.add_argument("--store", metavar="DIR", required=True)
+    parser.add_argument("--store", metavar="URI", required=True)
     parser.add_argument(
         "--manifest",
         metavar="PREFIX",
@@ -208,14 +221,14 @@ def sweep_status(argv):
         "workers actually use (default: the library default)",
     )
     args = parser.parse_args(argv)
-    # Status is read-only: never create the store directory as a side
-    # effect, and an empty (or absent) store is a clean zero summary,
-    # not an error — "nothing running yet" is a normal sweep state.
-    if not os.path.isdir(args.store):
-        print(f"{args.store}: 0 manifests (store directory does not exist)",
-              flush=True)
+    # Status is read-only: never create store state as a side effect,
+    # and an empty (or absent) store is a clean zero summary, not an
+    # error — "nothing running yet" is a normal sweep state.
+    try:
+        store = open_store(args.store, create=False)
+    except FileNotFoundError:
+        print(f"{args.store}: 0 manifests (store does not exist)", flush=True)
         return 0
-    store = CampaignStore(args.store)
     names = [
         name
         for name in list_manifests(store)
@@ -268,16 +281,26 @@ def main():
     )
     parser.add_argument(
         "--store",
-        metavar="DIR",
+        metavar="URI",
         default=None,
-        help="persist each completed experiment to a content-keyed JSONL "
-        "shard in DIR (crash-safe; summaries then stream from the store)",
+        help="persist each completed experiment to a content-keyed shard "
+        "in the store at URI — file:DIR (a bare path means the same), "
+        "sqlite:PATH.db or mem:NAME (crash-safe; summaries then stream "
+        "from the store)",
+    )
+    parser.add_argument(
+        "--export-store",
+        metavar="URI",
+        default=None,
+        help="with --store: after the campaign, copy every shard "
+        "byte-for-byte (plus manifests) to a second store — the "
+        "durability hand-off when the working store is mem:NAME",
     )
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="with --store: load already-completed experiments from DIR "
-        "instead of recomputing them (bit-identical to an "
+        help="with --store: load already-completed experiments from the "
+        "store instead of recomputing them (bit-identical to an "
         "uninterrupted run)",
     )
     parser.add_argument(
@@ -327,7 +350,14 @@ def main():
         parser.error("--workers-per-host must be >= 1")
     if args.workers_per_host > 1 and args.manifest is None:
         parser.error("--workers-per-host requires --manifest NAME")
-    store = CampaignStore(args.store) if args.store is not None else None
+    if args.export_store is not None and args.store is None:
+        parser.error("--export-store requires --store URI")
+    store = open_store(args.store) if args.store is not None else None
+    if store is not None and store.backend.scheme == "mem":
+        if args.workers_per_host > 1 or args.worker:
+            # A mem: store lives in this process only; a forked drain
+            # worker would fill a private copy and silently diverge.
+            parser.error("mem: stores cannot be shared across processes")
 
     os.makedirs(OUT_DIR, exist_ok=True)
     testbed = build_testbed()
@@ -475,6 +505,10 @@ def main():
                     f"eff min={min(effs):.4f} mean={np.mean(effs):.4f}",
                     flush=True,
                 )
+    if args.export_store is not None:
+        target = open_store(args.export_store)
+        copied = copy_store(store, target)
+        print(f"exported {copied} shard(s) -> {target.uri}", flush=True)
 
 
 if __name__ == "__main__":

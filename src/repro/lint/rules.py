@@ -406,6 +406,16 @@ def _calls_in(func: ast.AST, names: Sequence[str]) -> bool:
     return False
 
 
+def _declares_synchronous_full(scope: ast.AST) -> bool:
+    """A ``PRAGMA synchronous=FULL`` string constant appears in scope."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            lowered = node.value.lower()
+            if "synchronous" in lowered and "full" in lowered:
+                return True
+    return False
+
+
 @register
 class DurableWrite(Rule):
     """Every store write is crash-safe: temp+fsync+rename, or append+fsync."""
@@ -415,8 +425,11 @@ class DurableWrite(Rule):
     rationale = (
         "Resume correctness (PR 4/5) is exactly the claim that an "
         "acknowledged record survives a crash: shard appends fsync "
-        "before returning, and whole-document writes go through a "
-        "same-directory temp file, fsync, then os.replace."
+        "before returning, whole-document writes go through a "
+        "same-directory temp file, fsync, then os.replace, and sqlite "
+        "connections run at synchronous=FULL so a COMMIT means fsync "
+        "(WAL's default synchronous=NORMAL can drop acknowledged "
+        "transactions on power loss)."
     )
     patrols = ("src/repro/store/*",)
 
@@ -436,6 +449,18 @@ class DurableWrite(Rule):
                     f".{node.func.attr}() cannot fsync before closing; use "
                     "open + flush + os.fsync (+ os.replace for rewrites)",
                 )
+                continue
+            if name == "sqlite3.connect":
+                func = enclosing_function(node)
+                scope: ast.AST = func if func is not None else module.tree
+                if not _declares_synchronous_full(scope):
+                    yield self.violation(
+                        module,
+                        node,
+                        "sqlite3.connect() without 'PRAGMA synchronous="
+                        "FULL' in the same function; an acknowledged "
+                        "COMMIT could be lost on power failure",
+                    )
                 continue
             if name != "open":
                 continue

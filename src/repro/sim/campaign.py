@@ -637,14 +637,20 @@ class CampaignRunner:
 
 
 def _as_store(store):
-    """Accept a CampaignStore, a path, or None."""
+    """Accept a CampaignStore, a store URI/path/backend, or None.
+
+    URI strings select a backend by scheme (``file:``, ``sqlite:``,
+    ``mem:`` — see :func:`repro.store.backend.open_store`); a bare
+    path keeps its historical meaning, a filesystem store directory.
+    """
     if store is None:
         return None
+    from repro.store.backend import open_store
     from repro.store.store import CampaignStore
 
     if isinstance(store, CampaignStore):
         return store
-    return CampaignStore(store)
+    return open_store(store)
 
 
 def run_sim_campaign(

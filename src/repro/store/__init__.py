@@ -20,10 +20,17 @@ package removes that ceiling with three small pieces:
   versioned, atomically-written document listing every work item of a
   sweep with its shard key, so workers and aggregators can scope a
   shared store to one sweep without recomputing fingerprints.
-* :mod:`repro.store.queue` — :class:`WorkQueue`: ``O_EXCL`` lease
-  files with heartbeat mtimes and expiry-based reclaim, so any number
-  of worker processes (one host or a shared filesystem) drain the same
-  manifest concurrently and crash-safely.
+* :mod:`repro.store.queue` — :class:`WorkQueue`: atomic leases with
+  heartbeats and expiry-based reclaim, so any number of worker
+  processes drain the same manifest concurrently and crash-safely.
+* :mod:`repro.store.backend` — the pluggable backend layer beneath all
+  of the above: :class:`StoreBackend`/:class:`LeaseBackend` interfaces
+  with three implementations (``file:`` shared-filesystem JSONL +
+  ``O_EXCL`` leases, ``sqlite:`` one transactional database file,
+  ``mem:`` an in-process S3-style object store with conditional-put
+  leases), selected by URI via :func:`open_store`.  The backend
+  conformance suite (``tests/store/conformance``) pins the contract
+  every implementation must satisfy.
 
 Checkpoint/resume contract: runners compute each work item's
 fingerprint up front, skip items whose shard already holds a complete
@@ -33,6 +40,14 @@ so an interrupted campaign resumed with ``--store DIR --resume`` ends
 bit-identical to an uninterrupted run.
 """
 
+from repro.store.backend import (
+    LeaseBackend,
+    LeaseView,
+    StoreBackend,
+    copy_store,
+    open_backend,
+    open_store,
+)
 from repro.store.fingerprint import (
     canonical_json,
     fingerprint,
@@ -63,6 +78,12 @@ from repro.store.store import CampaignStore
 
 __all__ = [
     "CampaignStore",
+    "LeaseBackend",
+    "LeaseView",
+    "StoreBackend",
+    "copy_store",
+    "open_backend",
+    "open_store",
     "canonical_json",
     "fingerprint",
     "fingerprint_spawn_key",

@@ -27,6 +27,7 @@ if wired into the package ``__init__``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Union
 
@@ -38,6 +39,7 @@ from repro.analysis.stats import (
     ReliabilitySummary,
     ValueCountAccumulator,
 )
+from repro.store.backend import open_store
 from repro.store.manifest import SweepManifest
 from repro.store.records import decode_value
 from repro.store.store import CampaignStore
@@ -89,14 +91,18 @@ def _fold_record(record: Dict[str, Any], groups: Dict[int, GroupAggregates]) -> 
 
 
 def stream_aggregates(
-    store: CampaignStore,
+    store: Union[CampaignStore, str, "os.PathLike[str]"],
     keys: Optional[Iterable[str]] = None,
     manifest: Optional[Union["SweepManifest", str]] = None,
 ) -> Dict[int, GroupAggregates]:
     """Fold a store's records into per-group-size aggregates.
 
     Args:
-        store: the campaign store to read.
+        store: the campaign store to read — a
+            :class:`~repro.store.store.CampaignStore`, or a store URI /
+            path (``file:``/``sqlite:``/``mem:``, resolved by
+            :func:`repro.store.backend.open_store`; reading never
+            creates a store).
         keys: shard keys to aggregate over — pass the campaign's own
             key list to scope a shared store to one sweep; defaults to
             every shard.
@@ -113,6 +119,8 @@ def stream_aggregates(
         was produced — serial, sharded, interrupted-and-resumed, or
         drained by many queue workers.
     """
+    if not isinstance(store, CampaignStore):
+        store = open_store(store, create=False)
     if manifest is not None:
         if keys is not None:
             raise ValueError("pass keys or manifest, not both")

@@ -15,11 +15,12 @@ two questions a multi-host sweep keeps asking:
   (:func:`repro.store.aggregate.stream_aggregates` accepts a manifest
   directly), without recomputing fingerprints from specs.
 
-The document is written **atomically** next to the shards it indexes
-(``store-root/<name>.manifest.json``): serialised to a temp file in the
-same directory, fsynced, then :func:`os.replace`-d over the target, so
-a reader never observes a half-written manifest and a crash mid-save
-leaves the previous version intact.  Re-saving identical content is a
+The document is written **atomically** next to the shards it indexes,
+through the store backend's document primitive (filesystem backend:
+``store-root/<name>.manifest.json`` via temp file + fsync +
+:func:`os.replace`; sqlite: a transactional upsert; object store: a
+whole-object put), so a reader never observes a half-written manifest
+and a crash mid-save leaves the previous version intact.  Re-saving identical content is a
 no-op; saving changed content bumps ``version`` — workers can detect a
 redefined sweep instead of silently draining a stale key list.
 
@@ -32,10 +33,8 @@ runs.
 from __future__ import annotations
 
 import json
-import os
 import re
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -59,10 +58,10 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,100}$")
 _SUFFIX = ".manifest.json"
 
 
-def _manifest_path(root: Path, name: str) -> Path:
+def _doc_name(name: str) -> str:
     if not _NAME_RE.match(name):
         raise ValueError(f"malformed manifest name {name!r}")
-    return root / f"{name}{_SUFFIX}"
+    return f"{name}{_SUFFIX}"
 
 
 @dataclass(frozen=True)
@@ -186,12 +185,13 @@ class SweepManifest:
         Idempotent-by-content: when the stored document already
         describes the same work, nothing is written and the stored
         version is returned; when the content differs, the document is
-        replaced with ``version = stored + 1``.  The write itself is a
-        same-directory temp file + fsync + :func:`os.replace`, so
-        readers only ever see a complete document and a crash mid-save
-        cannot corrupt the previous one.
+        replaced with ``version = stored + 1``.  The write itself is
+        the backend's atomic document replacement (filesystem: a
+        same-directory temp file + fsync + :func:`os.replace`; sqlite:
+        a row upsert; object store: a whole-object put), so readers
+        only ever see a complete document and a crash mid-save cannot
+        corrupt the previous one.
         """
-        root = Path(store.root)
         existing = self.load(store, self.name, missing_ok=True)
         if existing is not None:
             if existing.content_equal(self):
@@ -205,46 +205,31 @@ class SweepManifest:
             )
         else:
             revised = self
-        path = _manifest_path(root, self.name)
-        tmp = root / f".{self.name}{_SUFFIX}.tmp.{os.getpid()}"
         payload = json.dumps(
             revised.to_json(), separators=(",", ":"), allow_nan=False
         )
-        with open(tmp, "wb") as f:
-            f.write(payload.encode("utf-8"))
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, path)
-        # Durably record the rename itself (the document is already
-        # durable; this pins the directory entry).
-        dir_fd = os.open(root, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        store.backend.put_doc(_doc_name(self.name), payload)
         return revised
 
     @classmethod
     def load(
         cls, store: "CampaignStore", name: str, missing_ok: bool = False
     ) -> Optional["SweepManifest"]:
-        """Read the named manifest from the store root."""
-        path = _manifest_path(Path(store.root), name)
-        if not path.exists():
+        """Read the named manifest from the store."""
+        payload = store.backend.get_doc(_doc_name(name))
+        if payload is None:
             if missing_ok:
                 return None
             raise FileNotFoundError(
-                f"no manifest {name!r} in {store.root}"
+                f"no manifest {name!r} in {store.uri}"
             )
-        with open(path, "r", encoding="utf-8") as f:
-            return cls.from_json(json.load(f))
+        return cls.from_json(json.loads(payload))
 
 
 def list_manifests(store: "CampaignStore") -> List[str]:
-    """Every manifest name present in the store root, sorted."""
-    root = Path(store.root)
+    """Every manifest name present in the store, sorted."""
     return sorted(
-        p.name[: -len(_SUFFIX)]
-        for p in root.glob(f"*{_SUFFIX}")
-        if not p.name.startswith(".")
+        name[: -len(_SUFFIX)]
+        for name in store.backend.list_docs()
+        if name.endswith(_SUFFIX) and not name.startswith(".")
     )

@@ -1,53 +1,55 @@
-"""Crash-safe filesystem work queue over the campaign store.
+"""Crash-safe work queue over the campaign store's lease backend.
 
-Any number of worker processes — on one host, or on many hosts sharing
-a filesystem — drain the same :class:`~repro.store.manifest.SweepManifest`
+Any number of worker processes — on one host, on many hosts sharing a
+filesystem, or on a fleet sharing only a database or object store —
+drain the same :class:`~repro.store.manifest.SweepManifest`
 concurrently through a :class:`WorkQueue`.  The queue is three small
 mechanisms, each chosen so that *no* failure mode can lose or corrupt
 work:
 
-* **Atomic claims.**  A claim is an ``O_CREAT | O_EXCL`` lease file
-  (``store-root/leases/<manifest>/<key>.lease``) carrying the owner id.
-  ``O_EXCL`` makes creation a test-and-set: exactly one racing worker
-  wins a fresh claim, with no lock server and no shared state beyond
-  the filesystem.
+* **Atomic claims.**  A claim is the lease backend's test-and-set
+  (:meth:`~repro.store.backend.LeaseBackend.acquire`): an ``O_CREAT |
+  O_EXCL`` lease file on the filesystem backend, an ``INSERT OR
+  IGNORE`` row on sqlite, an ``If-None-Match`` conditional put on the
+  object store.  Exactly one racing worker wins a fresh claim, with no
+  lock server and no shared state beyond the backend itself.
 * **Heartbeats + expiry reclaim.**  A live worker refreshes its leases'
-  mtimes (:meth:`WorkQueue.heartbeat`); a lease whose mtime is older
-  than ``lease_timeout`` belonged to a dead worker and may be broken.
-  Age is judged on the *filesystem's* clock (the mtime of a freshly
-  touched probe file — :meth:`WorkQueue._fs_now`), never the worker's
-  wall clock: mtimes are stamped by the filesystem host (think NFS
-  server), and ``time.time()`` deltas against a foreign clock domain
-  mis-age leases under skew.  Wall-clock time appears only in the
-  ``claimed_at`` metadata field.
-  Breaking is itself race-safe: a breaker must first win an ``O_EXCL``
-  *breaker lock* (``<key>.lease.break``), re-verify expiry while
-  holding it (the lease might have been broken and freshly re-claimed
-  in the meantime), unlink the dead lease, drop the lock, and then
-  compete for a fresh ``O_EXCL`` claim like everyone else — so a stale
-  stat of the *lease* can never kill a live peer's lease, and exactly
-  one racer wins the reclaimed key.  (Sweeping an *orphaned breaker
-  lock* is advisory — see :meth:`WorkQueue._break_stale_lease`; in a
-  pathological interleaving it can duplicate an item run, which the
-  idempotent-completion rule below makes harmless.)
+  heartbeats (:meth:`WorkQueue.heartbeat`); a lease that has gone
+  ``lease_timeout`` without a beat belonged to a dead worker and may
+  be broken.  Age is judged in the **backend's own clock domain**
+  (:meth:`~repro.store.backend.LeaseBackend.now` — a probe-file mtime,
+  sqlite's clock, the object store's clock), never the worker's wall
+  clock: heartbeats are stamped by the backend host (think NFS server),
+  and ``time.time()`` deltas against a foreign clock domain mis-age
+  leases under skew.
+  Breaking is itself race-safe: the backend re-judges expiry
+  *atomically with the removal*
+  (:meth:`~repro.store.backend.LeaseBackend.break_expired` — a breaker
+  lock with re-verification, a conditional ``DELETE``, an ``If-Match``
+  delete), so a stale observation of the lease can never kill a live
+  peer's lease, and the broken key is then competed for like a fresh
+  one.
 * **Idempotent completion.**  *Done* means "the item's shard holds a
-  complete record" — the store's fsynced, last-record-wins JSONL line
-  is the completion marker, not the lease.  If a lease expires while
-  its worker is merely slow (not dead), two workers may run the same
-  item; both append bit-identical records (results are pure functions
-  of (seed, spec) — see :mod:`repro.store.fingerprint`), and the reader
+  complete record" — the store's durable, last-record-wins line is the
+  completion marker, not the lease.  If a lease expires while its
+  worker is merely slow (not dead), two workers may run the same item;
+  both append bit-identical records (results are pure functions of
+  (seed, spec) — see :mod:`repro.store.fingerprint`), and the reader
   dedupes.  Duplicated work is wasted wall-clock, never wrong results.
 
-The lease directory is advisory state: deleting it entirely merely
-forgets in-flight claims (finished work lives in the shards), so no
-fsync discipline is needed on lease files.
+Lease state is advisory: destroying it entirely merely forgets
+in-flight claims (finished work lives in the shards), so leases need
+atomicity but not durability.  :meth:`WorkQueue.cleanup` removes the
+advisory debris a drained sweep would otherwise leave behind (clock
+probes, orphaned breaker locks) — after a full drain plus cleanup the
+lease area is empty.
 
 Lifecycle of one item::
 
-    pending ──claim (O_EXCL)──▶ claimed ──run──▶ persist (store.append)
+    pending ──claim (acquire)──▶ claimed ──run──▶ persist (store.append)
        ▲                          │                     │
        │                          │ worker dies         ▼
-       └── lease expires ◀────────┘              release (unlink lease)
+       └── lease expires ◀────────┘              release (drop lease)
 
 Workers poll :meth:`WorkQueue.claim_pending` until
 :meth:`WorkQueue.pending` is empty; items claimed by live peers are
@@ -57,9 +59,7 @@ dead peers come back via expiry.
 
 from __future__ import annotations
 
-import json
 import os
-import re
 import socket
 import threading
 import time
@@ -98,11 +98,11 @@ def default_owner() -> str:
 
 @dataclass(frozen=True)
 class LeaseInfo:
-    """A point-in-time view of one lease file."""
+    """A point-in-time view of one lease."""
 
     key: str
-    owner: Optional[str]  # None when the file was unreadable (mid-write)
-    age: float  # seconds since the last heartbeat (mtime)
+    owner: Optional[str]  # None when the record was unreadable (mid-write)
+    age: float  # seconds since the last heartbeat, in the backend's clock
     expired: bool
 
 
@@ -126,11 +126,12 @@ class WorkQueue:
 
     Args:
         store: the :class:`~repro.store.store.CampaignStore` the sweep
-            persists into (completion is judged by its shards).
+            persists into (completion is judged by its shards; leases
+            live in its backend's lease area, namespaced by manifest).
         manifest: the sweep to drain — a
             :class:`~repro.store.manifest.SweepManifest`, or a name to
             load from the store.
-        owner: worker identity written into lease files; defaults to
+        owner: worker identity recorded in leases; defaults to
             :func:`default_owner`.
         lease_timeout: seconds without a heartbeat after which a lease
             counts as abandoned and may be reclaimed.
@@ -155,78 +156,59 @@ class WorkQueue:
         self.manifest = manifest
         self.owner = owner if owner is not None else default_owner()
         self.lease_timeout = float(lease_timeout)
-        self.lease_dir = Path(store.root) / "leases" / manifest.name
+        self.leases_backend = store.backend.leases
+        self.namespace = manifest.name
         self._known = set(manifest.keys())
         # The store is append-only and records never un-complete, so
         # "done" is monotone — cache it to keep the polling loop from
         # re-parsing finished shards on every pass.
         self._done_cache: Set[str] = set()
-        # Per-worker clock probe (see _fs_now); dots/hex lease names
-        # cannot collide with it, and the sanitising keeps the owner's
-        # host:pid:nonce id a portable filename.
-        self._clock_probe = f".clock.{re.sub(r'[^A-Za-z0-9._-]', '-', self.owner)}"
 
-    # -- paths and parsing --------------------------------------------------
+    # -- keys and views ------------------------------------------------------
 
-    def _lease_path(self, key: str) -> Path:
+    def _check_key(self, key: str) -> str:
         if key not in self._known:
             raise KeyError(f"{key!r} is not in manifest {self.manifest.name!r}")
-        return self.lease_dir / f"{key}.lease"
+        return key
 
-    def _read_owner(self, path: Path) -> Optional[str]:
-        """The lease's owner, or None when unreadable (torn mid-write)."""
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            return str(data["owner"])
-        except (OSError, ValueError, KeyError):
-            return None
+    def _lease_path(self, key: str) -> Path:
+        """The key's lease file — filesystem-backed stores only.
 
-    def _fs_now(self) -> float:
-        """'Now' in the clock domain that stamps lease mtimes.
-
-        Lease age is mtime arithmetic, and mtimes are set by the
-        filesystem host — on a shared filesystem, *its* clock, not this
-        worker's.  Touching a probe file and reading its mtime back
-        yields a "now" in that same domain, so expiry judgements are
-        immune to skew between the worker's wall clock and the
-        filesystem's (and the worker's wall clock never enters
-        duration math at all).
-
-        When the probe cannot be written (a read-only status view of a
-        foreign store), the host wall clock is the best remaining
-        approximation; a mis-judged expiry there is harmless because
-        breaking re-verifies under the breaker lock and completion is
-        idempotent.
+        Exists for operators (and the fault suite) poking at lease
+        state directly; backend-portable code uses :meth:`lease_info`.
         """
-        probe = self.lease_dir / self._clock_probe
-        try:
-            fd = os.open(probe, os.O_CREAT | os.O_WRONLY, 0o644)
-            os.close(fd)
-            os.utime(probe)
-            return probe.stat().st_mtime
-        except OSError:
-            return time.time()
+        from repro.store.backend_fs import FilesystemLeaseBackend
+
+        self._check_key(key)
+        if not isinstance(self.leases_backend, FilesystemLeaseBackend):
+            raise TypeError(
+                f"{self.store.backend.scheme}: stores have no lease files"
+            )
+        return self.leases_backend.lease_path(self.namespace, key)
+
+    def _now(self) -> float:
+        """'Now' in the clock domain that stamps lease heartbeats."""
+        return self.leases_backend.now()
 
     def lease_info(self, key: str, now: Optional[float] = None) -> Optional[LeaseInfo]:
         """The key's current lease, or None when unleased.
 
         Args:
             key: a manifest shard key.
-            now: the filesystem-clock reference to age against;
-                defaults to a fresh :meth:`_fs_now` probe (pass it
-                explicitly when scanning many keys in one sweep).
+            now: the backend-clock reference to age against; defaults
+                to a fresh :meth:`~repro.store.backend.LeaseBackend.now`
+                reading (pass it explicitly when scanning many keys in
+                one sweep).
         """
-        path = self._lease_path(key)
-        try:
-            st = path.stat()
-        except FileNotFoundError:
+        view = self.leases_backend.get(self.namespace, self._check_key(key))
+        if view is None:
             return None
         if now is None:
-            now = self._fs_now()
-        age = max(0.0, now - st.st_mtime)
+            now = self._now()
+        age = max(0.0, now - view.heartbeat)
         return LeaseInfo(
             key=key,
-            owner=self._read_owner(path),
+            owner=view.owner,
             age=age,
             expired=age >= self.lease_timeout,
         )
@@ -249,92 +231,30 @@ class WorkQueue:
 
     # -- claim / heartbeat / release ------------------------------------------
 
-    def _expired(self, st: os.stat_result, now: Optional[float] = None) -> bool:
-        if now is None:
-            now = self._fs_now()
-        return now - st.st_mtime >= self.lease_timeout
-
-    def _break_stale_lease(self, path: Path) -> None:
-        """Unlink an expired lease under the key's breaker lock.
-
-        The lock closes the ordinary stat-then-act race: between
-        *observing* an expired lease and *removing* it, another racer
-        may have already broken it and a third may hold a fresh claim
-        at the same path — so expiry is re-verified while holding the
-        ``O_EXCL`` breaker lock, and a fresh lease is left alone.
-
-        A breaker lock whose holder died mid-break is itself expired
-        state; it is swept after a fresh re-stat immediately before the
-        unlink.  That sweep is advisory, not watertight: filesystem
-        path locks cannot compare-and-swap on identity, so a sweeper
-        stalled between its stat and its unlink can, in a pathological
-        interleaving, remove a just-created breaker and briefly let two
-        breakers coexist.  The system's *correctness* never rests on
-        breaker exclusivity — the worst outcome is a duplicated,
-        idempotent item run (see the module docstring) — exclusivity
-        here only keeps the common paths from duplicating work.
-        """
-        brk = path.with_name(f"{path.name}.break")
-        try:
-            fd = os.open(brk, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError:
-            try:
-                # An orphan is at least lease_timeout old, a live
-                # breaker microseconds old — stat right before acting.
-                if self._expired(brk.stat()):
-                    brk.unlink(missing_ok=True)
-            except FileNotFoundError:
-                pass
-            return
-        os.close(fd)
-        try:
-            try:
-                st = path.stat()
-            except FileNotFoundError:
-                return  # released or already broken
-            if self._expired(st):
-                path.unlink(missing_ok=True)
-        finally:
-            brk.unlink(missing_ok=True)
-
     def claim(self, key: str) -> bool:
         """Try to take the key's lease; True iff this worker now holds it.
 
-        Fresh keys are claimed with ``O_CREAT | O_EXCL`` (exactly one
-        racer wins).  A key whose lease has outlived ``lease_timeout``
-        is first *broken* under the key's breaker lock (see
-        :meth:`_break_stale_lease`) and then competed for like a fresh
-        key.  Keys already done are never claimed.
+        Fresh keys are claimed with the backend's test-and-set (exactly
+        one racer wins).  A key whose lease has outlived
+        ``lease_timeout`` is first *broken* — the backend re-judges
+        expiry atomically with the removal, so a lease refreshed in the
+        meantime survives — and then competed for like a fresh key.
+        Keys already done are never claimed.
         """
+        self._check_key(key)
         if self.is_done(key):
             return False
-        path = self._lease_path(key)
-        # Created on first claim, not at construction: read-only views
-        # (status reports on a finished or foreign store) must never
-        # mutate the store directory.
-        self.lease_dir.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"owner": self.owner, "claimed_at": time.time()},
-            separators=(",", ":"),
-        ).encode("utf-8")
-        for _ in range(3):  # create, maybe break a stale lease, re-create
-            try:
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-            except FileExistsError:
-                pass
-            else:
-                try:
-                    os.write(fd, payload)
-                finally:
-                    os.close(fd)
+        for _ in range(3):  # claim, maybe break a stale lease, re-claim
+            if self.leases_backend.acquire(self.namespace, key, self.owner):
                 return True
-            try:
-                st = path.stat()
-            except FileNotFoundError:
+            view = self.leases_backend.get(self.namespace, key)
+            if view is None:
                 continue  # released under us; retry the fresh claim
-            if not self._expired(st):
+            if self._now() - view.heartbeat < self.lease_timeout:
                 return False  # live lease held by a peer
-            self._break_stale_lease(path)
+            self.leases_backend.break_expired(
+                self.namespace, key, self.lease_timeout
+            )
         return False
 
     def claim_pending(self, limit: Optional[int] = None) -> List[str]:
@@ -353,15 +273,10 @@ class WorkQueue:
         return claimed
 
     def heartbeat(self, key: str) -> bool:
-        """Refresh the key's lease mtime iff this worker owns it."""
-        path = self._lease_path(key)
-        if self._read_owner(path) != self.owner:
-            return False
-        try:
-            os.utime(path)
-        except FileNotFoundError:
-            return False
-        return True
+        """Refresh the key's lease heartbeat iff this worker owns it."""
+        return self.leases_backend.heartbeat(
+            self.namespace, self._check_key(key), self.owner
+        )
 
     def heartbeat_all(self, keys: Iterable[str]) -> None:
         for key in keys:
@@ -374,11 +289,20 @@ class WorkQueue:
         judged by the shard, so releasing an unfinished item simply
         returns it to the pending pool.
         """
-        path = self._lease_path(key)
-        if self._read_owner(path) != self.owner:
-            return False
-        path.unlink(missing_ok=True)
-        return True
+        return self.leases_backend.release(
+            self.namespace, self._check_key(key), self.owner
+        )
+
+    def cleanup(self) -> None:
+        """Sweep the advisory lease debris this worker can clean.
+
+        Leases themselves are released per-batch; what a finished sweep
+        would otherwise leave behind is backend bookkeeping — the
+        filesystem backend's clock probes and orphaned breaker locks.
+        Called by :func:`drain_manifest` on the way out, so a fully
+        drained manifest leaves an empty lease area.
+        """
+        self.leases_backend.cleanup(self.namespace, self.lease_timeout)
 
     # -- status ---------------------------------------------------------------
 
@@ -388,10 +312,10 @@ class WorkQueue:
         now: Optional[float] = None
         for key in self.manifest.keys():
             if self.is_done(key):
-                done += 1  # leftover lease files on done keys are noise
+                done += 1  # leftover leases on done keys are noise
                 continue
             if now is None:
-                now = self._fs_now()  # one probe per scan, not per key
+                now = self._now()  # one clock reading per scan, not per key
             lease = self.lease_info(key, now=now)
             if lease is None:
                 pending += 1
@@ -410,7 +334,7 @@ class WorkQueue:
     def leases(self) -> Dict[str, LeaseInfo]:
         """Every currently leased key's lease, keyed by shard key."""
         infos: Dict[str, LeaseInfo] = {}
-        now = self._fs_now()
+        now = self._now()
         for key in self.manifest.keys():
             info = self.lease_info(key, now=now)
             if info is not None:
@@ -431,8 +355,8 @@ def drain_manifest(
     the queue's store (the runners route this through ``shard_map``'s
     ``on_result`` hook, so each record lands the moment its worker
     finishes).  While a batch runs, a background thread refreshes the
-    claimed leases' mtimes every ``lease_timeout / 3`` seconds, so a
-    *live* worker's leases never expire however long its items take —
+    claimed leases' heartbeats every ``lease_timeout / 3`` seconds, so
+    a *live* worker's leases never expire however long its items take —
     expiry reclaims stay reserved for workers that actually died.
     Leases are released after every batch whatever happened —
     completion is judged by the shards, so releasing an unfinished
@@ -444,31 +368,38 @@ def drain_manifest(
     expiry.  The loop therefore terminates exactly when every manifest
     key has a complete record.
 
+    On the way out the worker sweeps its advisory lease debris
+    (:meth:`WorkQueue.cleanup`), so a fully drained manifest leaves an
+    empty lease area behind.
+
     Returns the keys this worker claimed and ran, in claim order.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     ran: List[str] = []
-    while True:
-        claimed = queue.claim_pending(limit=batch_size)
-        if claimed:
-            stop = threading.Event()
+    try:
+        while True:
+            claimed = queue.claim_pending(limit=batch_size)
+            if claimed:
+                stop = threading.Event()
 
-            def heartbeat_loop(keys: Tuple[str, ...] = tuple(claimed)) -> None:
-                while not stop.wait(queue.lease_timeout / 3.0):
-                    queue.heartbeat_all(keys)
+                def heartbeat_loop(keys: Tuple[str, ...] = tuple(claimed)) -> None:
+                    while not stop.wait(queue.lease_timeout / 3.0):
+                        queue.heartbeat_all(keys)
 
-            beater = threading.Thread(target=heartbeat_loop, daemon=True)
-            beater.start()
-            try:
-                run_keys(claimed)
-            finally:
-                stop.set()
-                beater.join()
-                for key in claimed:
-                    queue.release(key)
-            ran.extend(claimed)
-            continue
-        if not queue.pending():
-            return ran
-        time.sleep(poll_interval)
+                beater = threading.Thread(target=heartbeat_loop, daemon=True)
+                beater.start()
+                try:
+                    run_keys(claimed)
+                finally:
+                    stop.set()
+                    beater.join()
+                    for key in claimed:
+                        queue.release(key)
+                ran.extend(claimed)
+                continue
+            if not queue.pending():
+                return ran
+            time.sleep(poll_interval)
+    finally:
+        queue.cleanup()

@@ -1,6 +1,11 @@
 """Append-only, crash-safe campaign result store.
 
-One JSONL shard per scenario fingerprint under a root directory:
+One append-only record shard per scenario fingerprint, living in
+whatever :class:`~repro.store.backend.StoreBackend` the store was
+opened on — a directory of JSONL files (``file:``, the default), a
+single sqlite database (``sqlite:``), or an in-process object store
+(``mem:``); see :func:`repro.store.backend.open_store` for the URI
+forms.  With the default filesystem backend the layout is:
 
 .. code-block:: text
 
@@ -10,116 +15,125 @@ One JSONL shard per scenario fingerprint under a root directory:
         ...
 
 Write path (:meth:`CampaignStore.append`): the record is serialised to
-one strict-JSON line, appended with a single ``write`` call, then
-flushed and ``fsync``-ed before :meth:`append` returns — a killed
-campaign loses at most the line being written, never a previously
-acknowledged one.  Because a record only becomes visible as a complete
-``\\n``-terminated line, *line present* is the completion marker; no
+one strict-JSON line and handed to the backend, which must make it
+durable before returning — a killed campaign loses at most the line
+being written, never a previously acknowledged one.  Because a record
+only becomes visible once its write *completed* (a ``\\n``-terminated
+line, a committed row), *line present* is the completion marker; no
 separate checkpoint file can go stale.
 
-Read path (:meth:`CampaignStore.load` / :meth:`records`): lines are
-parsed one by one; a torn final line (the crash signature: truncated
-JSON, no terminator) is skipped, and duplicate lines for the same shard
-dedupe by keeping the **last** complete record — so re-running a
-scenario simply supersedes its earlier result instead of double
-counting it in aggregates.
+Read path (:meth:`CampaignStore.load` / :meth:`records`): the backend
+yields only completely written lines (a torn final line — the crash
+signature — never surfaces); this layer parses them, skips corrupt
+JSON, and dedupes duplicate lines for the same shard by keeping the
+**last** complete record — so re-running a scenario simply supersedes
+its earlier result instead of double counting it in aggregates.
 
-The store never holds more than one line in memory per read step, which
-is what lets the streaming accumulators in :mod:`repro.analysis.stats`
-aggregate arbitrarily large campaigns without materialising them.
+The store never holds more than one record in memory per read step,
+which is what lets the streaming accumulators in
+:mod:`repro.analysis.stats` aggregate arbitrarily large campaigns
+without materialising them.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import re
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
-__all__ = ["CampaignStore"]
+from repro.store.backend import StoreBackend
 
-_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+__all__ = ["CampaignStore"]
 
 
 class CampaignStore:
-    """A directory of per-scenario JSONL shards.
+    """Per-scenario record shards over a pluggable backend.
 
     Args:
-        root: shard directory; created on first write (and eagerly at
-            construction, so ``--store DIR`` fails fast on an
-            unwritable path rather than mid-campaign).
+        root: a shard directory (created eagerly, so ``--store DIR``
+            fails fast on an unwritable path rather than mid-campaign)
+            — or any already-opened
+            :class:`~repro.store.backend.StoreBackend`.  For URI
+            strings (``sqlite:...``, ``mem:...``) use
+            :func:`repro.store.backend.open_store`.
     """
 
-    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self, root: Union[str, "os.PathLike[str]", StoreBackend]
+    ) -> None:
+        if isinstance(root, StoreBackend):
+            self.backend = root
+        else:
+            from repro.store.backend_fs import FilesystemStoreBackend
+
+            self.backend = FilesystemStoreBackend(root, create=True)
+
+    @property
+    def uri(self) -> str:
+        """The URI that re-opens this store (``file:``/``sqlite:``/``mem:``)."""
+        return self.backend.uri
 
     # -- paths ------------------------------------------------------------
 
+    @property
+    def root(self) -> Path:
+        """The shard directory — filesystem-backed stores only."""
+        root = getattr(self.backend, "root", None)
+        if not isinstance(root, Path):
+            raise TypeError(
+                f"{self.backend.scheme}: stores have no filesystem root"
+            )
+        return root
+
     def shard_path(self, key: str) -> Path:
-        if not _KEY_RE.match(key):
-            raise ValueError(f"malformed shard key {key!r}")
-        return self.root / f"{key}.jsonl"
+        """The key's shard file — filesystem-backed stores only."""
+        from repro.store.backend_fs import FilesystemStoreBackend
+
+        if not isinstance(self.backend, FilesystemStoreBackend):
+            raise TypeError(
+                f"{self.backend.scheme}: stores have no shard files"
+            )
+        return self.backend.shard_path(key)
 
     def keys(self) -> List[str]:
         """Every shard key present, sorted (deterministic scan order)."""
-        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+        return self.backend.record_keys()
 
     def __contains__(self, key: str) -> bool:
-        return self.shard_path(key).exists() and self.load(key) is not None
+        return self.load(key) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.jsonl"))
+        return self.backend.count_keys()
 
     # -- writes -----------------------------------------------------------
 
     def append(self, key: str, record: Dict[str, Any]) -> None:
         """Durably append one record line to the key's shard.
 
-        The line is written whole, flushed, and fsynced before this
+        The line is written whole and made durable before this
         returns: once :meth:`append` acknowledges, a crash cannot lose
         the record; until it does, a crash leaves at most a torn final
         line that every reader skips.
         """
         line = json.dumps(record, separators=(",", ":"), allow_nan=False)
-        path = self.shard_path(key)
-        with open(path, "a+b") as f:
-            if f.tell() > 0:
-                # A previous crash may have left a torn trailer; seal it
-                # with a terminator so this record starts on its own
-                # line (the fragment then parses as one dead line
-                # instead of swallowing the new record).
-                f.seek(-1, os.SEEK_END)
-                if f.read(1) != b"\n":
-                    f.write(b"\n")
-            f.write(line.encode("utf-8") + b"\n")
-            f.flush()
-            os.fsync(f.fileno())
+        self.backend.append_record(key, line)
 
     # -- reads ------------------------------------------------------------
 
     def _iter_lines(self, key: str) -> Iterator[Dict[str, Any]]:
-        """Parse the shard's complete lines, skipping torn trailers.
+        """Parse the shard's complete lines, skipping corrupt ones.
 
-        A record is *complete* iff its line is newline-terminated and
-        parses as JSON; anything else (crash mid-write, disk-full
-        truncation) is ignored rather than poisoning the resume.
+        The backend already withholds lines whose write never completed
+        (fs: unterminated trailer; sqlite: uncommitted row); anything
+        that still fails to parse (bit rot, an injected fault) is
+        ignored rather than poisoning the resume.
         """
-        path = self.shard_path(key)
-        if not path.exists():
-            return
-        with open(path, "r", encoding="utf-8") as f:
-            for raw in f:
-                if not raw.endswith("\n"):
-                    return  # torn trailer: the write never completed
-                raw = raw.strip()
-                if not raw:
-                    continue
-                try:
-                    yield json.loads(raw)
-                except json.JSONDecodeError:
-                    continue  # corrupt line: treat as never written
+        for raw in self.backend.read_records(key):
+            try:
+                yield json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # corrupt line: treat as never written
 
     def records(self, key: str) -> List[Dict[str, Any]]:
         """All complete records of a shard, in append order."""

@@ -197,6 +197,43 @@ class TestR4DurableWrite:
         """
         assert violations(good, self.PATH, "R4") == []
 
+    def test_sqlite_connect_without_full_sync_fires(self):
+        # WAL's default synchronous=NORMAL can lose acknowledged
+        # COMMITs on power failure — the store promises it can't.
+        bad = """
+        import sqlite3
+
+        def connect(path):
+            conn = sqlite3.connect(path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            return conn
+        """
+        assert len(violations(bad, self.PATH, "R4")) == 1
+
+    def test_sqlite_connect_with_full_sync_is_clean(self):
+        good = """
+        import sqlite3
+
+        def connect(path):
+            conn = sqlite3.connect(path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=FULL")
+            return conn
+        """
+        assert violations(good, self.PATH, "R4") == []
+
+    def test_sqlite_pragma_in_another_function_does_not_excuse(self):
+        bad = """
+        import sqlite3
+
+        def harden(conn):
+            conn.execute("PRAGMA synchronous=FULL")
+
+        def connect(path):
+            return sqlite3.connect(path)
+        """
+        assert len(violations(bad, self.PATH, "R4")) == 1
+
     def test_only_store_is_patrolled(self):
         bad = "def save(p, d):\n    open(p, 'w').write(d)\n"
         assert violations(bad, "src/repro/analysis/report.py", "R4") == []

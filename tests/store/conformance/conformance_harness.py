@@ -1,0 +1,143 @@
+"""Shared pieces of the backend conformance harness.
+
+The fixtures live in ``conftest.py`` next door; this module holds the
+importable parts — the per-backend :class:`BackendHarness` table, the
+recovery sweep grid, and the bit-identity assertion — so test modules
+can import them without touching ``conftest`` machinery.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from repro.sim import IIDLossSpec, OracleEstimatorSpec, ScenarioGrid
+from repro.store import ManifestEntry, SweepManifest
+
+#: The sweep used by the recovery scenarios: four cells, small enough
+#: to drain in seconds, large enough that a killed worker leaves real
+#: work behind.
+GRID = ScenarioGrid(
+    group_sizes=(3, 4),
+    loss_models=(IIDLossSpec(0.3), IIDLossSpec(0.5)),
+    estimators=(OracleEstimatorSpec(),),
+    rounds=8,
+    n_x_packets=24,
+)
+
+
+def assert_outcomes_identical(a, b):
+    """Bit-identical sim campaign results — arrays via array_equal."""
+    assert len(a.outcomes) == len(b.outcomes)
+    for oa, ob in zip(a.outcomes, b.outcomes):
+        assert oa.scenario == ob.scenario
+        for name in (
+            "secret_packets",
+            "public_packets",
+            "total_rows",
+            "efficiency",
+            "reliability",
+            "eve_missed",
+            "terminal_receptions",
+            "delivery_rates",
+        ):
+            assert np.array_equal(
+                getattr(oa.result, name), getattr(ob.result, name)
+            ), name
+
+
+def toy_manifest(name="toy", n=3):
+    entries = tuple(
+        ManifestEntry(key=f"{i:02d}" * 5, spec={"i": i}, label=f"item-{i}")
+        for i in range(n)
+    )
+    return SweepManifest(name=name, entries=entries, kind="sim-grid")
+
+
+# -- per-backend shard tearing ---------------------------------------------
+#
+# "Tear" = make the shard look exactly as it would after a crash killed
+# the *last* record's write mid-flight, using the backend's own failure
+# vocabulary: a truncated unterminated line on the filesystem and the
+# object store, an uncommitted (absent) row on sqlite.
+
+
+def _tear_file(store, key):
+    path = store.shard_path(key)
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert lines, "cannot tear an empty shard"
+    torn = b"".join(lines[:-1]) + lines[-1].rstrip(b"\n")[
+        : max(1, len(lines[-1]) // 2)
+    ]
+    path.write_bytes(torn)
+
+
+def _tear_sqlite(store, key):
+    cur = store.backend._conn().execute(
+        "DELETE FROM records WHERE seq = "
+        "(SELECT MAX(seq) FROM records WHERE key = ?)",
+        (key,),
+    )
+    assert cur.rowcount == 1, "cannot tear an empty shard"
+
+
+def _tear_mem(store, key):
+    objects = store.backend.objects
+    found = objects.get(f"records/{key}")
+    assert found is not None, "cannot tear an empty shard"
+    etag, payload = found
+    lines = payload.splitlines(keepends=True)
+    torn = "".join(lines[:-1]) + lines[-1].rstrip("\n")[
+        : max(1, len(lines[-1]) // 2)
+    ]
+    objects.put(f"records/{key}", torn, if_match=etag)
+
+
+@dataclass(frozen=True)
+class BackendHarness:
+    """Everything backend-specific a conformance test may need."""
+
+    scheme: str
+    #: Whether a forked process can reach the same store through the
+    #: URI (the SIGKILL drills need real processes; ``mem:`` state
+    #: dies with the process, so its workers are threads instead).
+    supports_fork: bool
+    make_uri: Callable  # tmp_path -> store URI
+    tear_shard: Callable  # (store, key) -> crash-truncate the last record
+
+
+HARNESSES = {
+    "file": BackendHarness(
+        scheme="file",
+        supports_fork=True,
+        make_uri=lambda tmp_path: f"file:{tmp_path}/store",
+        tear_shard=_tear_file,
+    ),
+    "sqlite": BackendHarness(
+        scheme="sqlite",
+        supports_fork=True,
+        make_uri=lambda tmp_path: f"sqlite:{tmp_path}/store.sqlite",
+        tear_shard=_tear_sqlite,
+    ),
+    "mem": BackendHarness(
+        scheme="mem",
+        supports_fork=False,
+        # tmp_path basenames are unique per test, giving each test its
+        # own registry entry (discarded again by the store fixture).
+        make_uri=lambda tmp_path: f"mem:conf-{tmp_path.name}",
+        tear_shard=_tear_mem,
+    ),
+}
+
+
+def selected_backends():
+    raw = os.environ.get("REPRO_CONFORMANCE_BACKENDS", "").strip()
+    if not raw:
+        return list(HARNESSES)
+    names = [n.strip() for n in raw.split(",") if n.strip()]
+    unknown = sorted(set(names) - set(HARNESSES))
+    if unknown:
+        raise ValueError(
+            f"unknown backends in REPRO_CONFORMANCE_BACKENDS: {unknown}"
+        )
+    return names

@@ -1,0 +1,177 @@
+"""Conformance: crash recovery and resume bit-identity, per backend.
+
+The nightly-drill scenario as a conformance clause: a worker dies
+mid-lease (a real SIGKILLed process on backends a forked process can
+reach; an abandoning thread on ``mem:``, whose state dies with the
+process), the lease expires, a replacement reclaims the cell, and the
+finished sweep is **bit-identical** to an uninterrupted serial run.
+Torn shards recover the same way: the mangled record reads as never
+written, exactly that cell is recomputed, and the result matches.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from conformance_harness import GRID, assert_outcomes_identical
+from repro.sim import CampaignRunner
+from repro.store import CampaignStore, WorkQueue, open_store
+
+pytestmark = pytest.mark.queue
+
+#: SIGKILL tests run real OS processes; fork keeps the targets simple
+#: (no pickling) and is the production default on the Linux CI runners.
+MP = multiprocessing.get_context("fork")
+
+SEED = 9
+
+
+# -- worker targets (module level: they outlive fork cleanly) --------------
+
+
+def _claim_and_hang(store_uri, manifest_name, ready_path):
+    """The victim: claim one lease, announce it, then hang until
+    SIGKILLed — the tightest mid-lease death a worker can die."""
+    store = open_store(store_uri)
+    queue = WorkQueue(store, manifest_name, owner="victim", lease_timeout=3600)
+    claimed = queue.claim_pending(limit=1)
+    Path(ready_path).write_text("\n".join(claimed))
+    time.sleep(600)  # pragma: no cover - killed long before this returns
+
+
+def _drain_worker(store_uri, manifest_name, seed):
+    CampaignRunner(seed=seed, store=store_uri).run_worker(
+        manifest_name, lease_timeout=0.5, poll_interval=0.02
+    )
+
+
+def _spawn(target, *args):
+    proc = MP.Process(target=target, args=args)
+    proc.start()
+    return proc
+
+
+def _await_file(path, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if Path(path).exists() and Path(path).read_text():
+            return Path(path).read_text().splitlines()
+        time.sleep(0.02)
+    raise AssertionError(f"worker never signalled readiness via {path}")
+
+
+def _abandon_one_claim(store, manifest_name):
+    """The ``mem:`` victim: claim a key and walk away without release
+    or heartbeat — the observable signature of a dead worker, minus
+    the process corpse."""
+    queue = WorkQueue(
+        store, manifest_name, owner="victim", lease_timeout=3600
+    )
+    claimed = queue.claim_pending(limit=1)
+    assert len(claimed) == 1
+    return claimed
+
+
+class TestKilledMidLease:
+    def test_dead_workers_lease_is_reclaimed_bit_identically(
+        self, backend, store, store_uri, tmp_path
+    ):
+        """One worker dies holding a lease; a replacement drains the
+        manifest; the assembled sweep equals the serial reference."""
+        reference = CampaignRunner(seed=SEED).run(GRID)
+        manifest = CampaignRunner(seed=SEED, store=store).write_manifest(
+            GRID, "sweep"
+        )
+
+        if backend.supports_fork:
+            ready = str(tmp_path / "victim-claimed")
+            victim = _spawn(_claim_and_hang, store_uri, "sweep", ready)
+            hung_keys = _await_file(ready)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            assert victim.exitcode == -signal.SIGKILL
+        else:
+            hung_keys = _abandon_one_claim(store, "sweep")
+        assert len(hung_keys) == 1
+
+        # The orphaned lease survives its worker, owned by the dead one.
+        queue = WorkQueue(store, manifest, lease_timeout=0.5)
+        assert queue.lease_info(hung_keys[0]).owner == "victim"
+
+        if backend.supports_fork:
+            replacement = _spawn(_drain_worker, store_uri, "sweep", SEED)
+            replacement.join(timeout=120)
+            assert replacement.exitcode == 0
+        else:
+            _drain_worker(store_uri, "sweep", SEED)
+
+        resumed = CampaignRunner(seed=SEED, store=store).run_worker("sweep")
+        assert_outcomes_identical(reference, resumed)
+        assert queue.status().done == len(manifest)
+
+
+class TestTornShardRecovery:
+    def test_torn_record_is_recomputed_bit_identically(self, backend, store):
+        """Crash-truncate one cell's record: a resumed drain treats the
+        cell as never finished, recomputes exactly it, and matches the
+        serial run."""
+        reference = CampaignRunner(seed=SEED).run(GRID)
+        runner = CampaignRunner(seed=SEED, store=store)
+        runner.run(GRID, manifest="sweep")
+        victim = store.keys()[1]
+        backend.tear_shard(store, victim)
+        assert store.load(victim) is None
+
+        recomputed = []
+        resumed = CampaignRunner(seed=SEED, store=store).run_worker(
+            "sweep", progress=lambda scenario: recomputed.append(scenario)
+        )
+        assert len(recomputed) == 1
+        assert runner.cell_key(recomputed[0]) == victim
+        assert_outcomes_identical(reference, resumed)
+
+
+class DyingStore(CampaignStore):
+    """A store whose process 'dies' after ``budget`` persisted results.
+
+    Raising ``KeyboardInterrupt`` from ``append`` models a hard stop
+    between checkpoint writes — the tightest place a kill can land
+    short of a torn line (covered separately by shard tearing).
+    """
+
+    def __init__(self, backend, budget):
+        super().__init__(backend)
+        self.budget = budget
+
+    def append(self, key, record):
+        if self.budget <= 0:
+            raise KeyboardInterrupt("killed mid-campaign")
+        self.budget -= 1
+        super().append(key, record)
+
+
+class TestResumeBitIdentity:
+    def test_interrupted_then_resumed_equals_serial(self, store):
+        """The campaign 'dies' after two persisted cells; a fresh
+        runner resumes against the same store: the two finished cells
+        load without recomputation, only the missing ones run, and the
+        assembled result is bit-identical to the serial reference."""
+        reference = CampaignRunner(seed=SEED).run(GRID)
+        dying = DyingStore(store.backend, budget=2)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(seed=SEED, store=dying).run(GRID, manifest="sweep")
+        assert len(store) == 2
+
+        recomputed = []
+        resumed = CampaignRunner(seed=SEED, store=store).run_worker(
+            "sweep", progress=lambda scenario: recomputed.append(scenario)
+        )
+        assert len(recomputed) == len(GRID.scenarios()) - 2
+        assert_outcomes_identical(reference, resumed)
+        # The loaded shards kept their single record — nothing was
+        # recomputed and superseded behind the resume's back.
+        assert all(len(store.records(key)) == 1 for key in store.keys())

@@ -1,0 +1,115 @@
+"""Conformance: the record/document storage contract.
+
+Every backend must give :class:`~repro.store.store.CampaignStore` the
+same semantics the filesystem JSONL shards pioneered: durable appends,
+append-order reads, last-record-wins dedupe, torn-write tolerance, and
+atomic versioned manifest documents.
+"""
+
+import pytest
+
+from conformance_harness import toy_manifest
+from repro.store import SweepManifest, list_manifests
+
+KEY_A = "aa" * 10
+KEY_B = "bb" * 10
+
+
+class TestRecords:
+    def test_roundtrip_and_append_order(self, store):
+        store.append(KEY_A, {"kind": "sim-cell", "v": 1})
+        store.append(KEY_A, {"kind": "sim-cell", "v": 2})
+        assert store.records(KEY_A) == [
+            {"kind": "sim-cell", "v": 1},
+            {"kind": "sim-cell", "v": 2},
+        ]
+
+    def test_last_record_wins(self, store):
+        """Reruns append rather than rewrite; the newest complete
+        record is the shard's effective value."""
+        for v in range(4):
+            store.append(KEY_A, {"kind": "sim-cell", "v": v})
+        assert store.load(KEY_A) == {"kind": "sim-cell", "v": 3}
+        assert list(store.stream([KEY_A])) == [{"kind": "sim-cell", "v": 3}]
+
+    def test_keys_sorted_and_len(self, store):
+        store.append(KEY_B, {"kind": "sim-cell"})
+        store.append(KEY_A, {"kind": "sim-cell"})
+        assert store.keys() == [KEY_A, KEY_B]
+        assert len(store) == 2
+        assert KEY_A in store
+        assert "cc" * 10 not in store
+
+    def test_missing_shard_reads_empty(self, store):
+        assert store.records(KEY_A) == []
+        assert store.load(KEY_A) is None
+        assert list(store.stream()) == []
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed shard key"):
+            store.append("../escape", {"kind": "sim-cell"})
+
+    def test_torn_write_means_never_written(self, backend, store):
+        """The crash signature — a record whose write never completed —
+        must surface as *no* record, never a mangled one, and must not
+        hide earlier complete records."""
+        store.append(KEY_A, {"kind": "sim-cell", "v": 1})
+        store.append(KEY_A, {"kind": "sim-cell", "v": 2})
+        backend.tear_shard(store, KEY_A)
+        assert store.records(KEY_A) == [{"kind": "sim-cell", "v": 1}]
+        assert store.load(KEY_A) == {"kind": "sim-cell", "v": 1}
+
+    def test_torn_only_shard_is_not_done(self, backend, store):
+        store.append(KEY_A, {"kind": "sim-cell", "v": 1})
+        backend.tear_shard(store, KEY_A)
+        assert store.load(KEY_A) is None
+        assert KEY_A not in store
+
+    def test_append_after_tear_supersedes(self, backend, store):
+        """A resumed worker re-running the torn cell appends a fresh
+        record; readers see exactly it (the fragment stays dead)."""
+        store.append(KEY_A, {"kind": "sim-cell", "v": 1})
+        backend.tear_shard(store, KEY_A)
+        store.append(KEY_A, {"kind": "sim-cell", "v": 7})
+        assert store.load(KEY_A) == {"kind": "sim-cell", "v": 7}
+
+
+class TestDocuments:
+    def test_manifest_roundtrip_and_listing(self, store):
+        saved = toy_manifest().save(store)
+        assert saved.version == 1
+        assert SweepManifest.load(store, "toy") == saved
+        assert list_manifests(store) == ["toy"]
+        # Manifest documents and lease state never pollute the shard scan.
+        assert store.keys() == []
+        assert len(store) == 0
+
+    def test_save_is_idempotent_by_content(self, store):
+        first = toy_manifest().save(store)
+        again = toy_manifest().save(store)
+        assert again.version == first.version == 1
+
+    def test_changed_content_bumps_version(self, store):
+        toy_manifest(n=2).save(store)
+        revised = toy_manifest(n=3).save(store)
+        assert revised.version == 2
+        assert SweepManifest.load(store, "toy").version == 2
+
+    def test_missing_manifest(self, store):
+        with pytest.raises(FileNotFoundError, match="no manifest"):
+            SweepManifest.load(store, "absent")
+        assert SweepManifest.load(store, "absent", missing_ok=True) is None
+
+
+class TestReopen:
+    def test_uri_reopens_the_same_store(self, store, store_uri):
+        """A second open of the store's URI sees the first one's
+        writes — the property multi-worker drains are built on."""
+        from repro.store import open_store
+
+        store.append(KEY_A, {"kind": "sim-cell", "v": 1})
+        toy_manifest().save(store)
+        again = open_store(store_uri)
+        assert again.uri == store.uri
+        assert again.load(KEY_A) == {"kind": "sim-cell", "v": 1}
+        assert list_manifests(again) == ["toy"]
