@@ -33,6 +33,7 @@ import asyncio
 import json
 import os
 import platform
+import shutil
 import sys
 import tempfile
 import time
@@ -46,10 +47,15 @@ from repro.analysis.stats import StreamingMoments  # noqa: E402
 from repro.service import ServiceConfig, run_load, run_memory_group  # noqa: E402
 from repro.sim import (  # noqa: E402
     CampaignRunner,
+    CollusionEstimatorSpec,
+    CombinedEstimatorSpec,
+    FixedFractionEstimatorSpec,
     IIDLossSpec,
     LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
     ScenarioGrid,
 )
+from repro.store import open_store  # noqa: E402
 from repro.store.store import CampaignStore  # noqa: E402
 from repro.testbed.deployment import Testbed, TestbedConfig  # noqa: E402
 from repro.testbed.pertable import placement_schedule_specs  # noqa: E402
@@ -97,6 +103,43 @@ def bench_batched_campaign() -> None:
     CampaignRunner(seed=7).run(grid)
 
 
+#: Many cells per loss model: one stack signature (same n, loss,
+#: adversary, N) spanning the estimator-policy axis, the shape the
+#: cross-cell kernels amortise over.  Shared by the stacked/per-cell
+#: benchmark pair so their ratio isolates the kernel batching itself.
+_CROSS_CELL_GRID = ScenarioGrid(
+    group_sizes=(4,),
+    loss_models=(IIDLossSpec(0.4),),
+    estimators=(
+        OracleEstimatorSpec(),
+        LeaveOneOutEstimatorSpec(rate_margin=0.05),
+        LeaveOneOutEstimatorSpec(rate_margin=0.1),
+        FixedFractionEstimatorSpec(fraction=0.5),
+        FixedFractionEstimatorSpec(fraction=0.7),
+        CollusionEstimatorSpec(k=2),
+        CombinedEstimatorSpec(
+            children=(
+                FixedFractionEstimatorSpec(fraction=0.5),
+                LeaveOneOutEstimatorSpec(rate_margin=0.05),
+            )
+        ),
+    ),
+    rounds=150,
+    n_x_packets=100,
+)
+
+
+def bench_campaign_cross_cell() -> None:
+    """Seven same-signature cells through one stacked kernel pass."""
+    CampaignRunner(seed=7).run(_CROSS_CELL_GRID)
+
+
+def bench_campaign_cross_cell_percell() -> None:
+    """The same grid on the historical one-engine-per-cell path: the
+    denominator of the cross-cell speedup claim."""
+    CampaignRunner(seed=7, cell_batching=False).run(_CROSS_CELL_GRID)
+
+
 def bench_pertable_bridge() -> None:
     """Analytic per-(pattern, tx, rx) PER table for one placement."""
     testbed = Testbed(TestbedConfig(interferer_power_dbm=10.0))
@@ -127,24 +170,48 @@ def bench_realised_flow() -> None:
         realised_support_flow(cells, demands, top_up=True)
 
 
-def bench_store_roundtrip() -> None:
-    """Append + dedupe-read 300 experiment records through the store."""
-    with tempfile.TemporaryDirectory() as root:
-        store = CampaignStore(root)
-        record = {
-            "kind": "experiment",
-            "n_terminals": 4,
-            "placement": {"__spec__": "Placement", "eve_cell": 4,
-                          "terminal_cells": [0, 2, 6, 8]},
-            "efficiency": 0.0421,
-            "reliability": 0.93,
-            "secret_bits": 4000,
-            "transmitted_bits": 95000,
-        }
-        for i in range(300):
-            store.append(f"{i:020x}", dict(record, secret_bits=i))
-        total = sum(1 for _ in store.stream())
-        assert total == 300
+#: The store round-trip workload: 300 experiment records, one per
+#: shard, persisted in 75-record batched flushes (the way a stacked
+#: campaign group checkpoints) and streamed back deduped.
+_STORE_RECORD = {
+    "kind": "experiment",
+    "n_terminals": 4,
+    "placement": {"__spec__": "Placement", "eve_cell": 4,
+                  "terminal_cells": [0, 2, 6, 8]},
+    "efficiency": 0.0421,
+    "reliability": 0.93,
+    "secret_bits": 4000,
+    "transmitted_bits": 95000,
+}
+_STORE_FLUSH = 75
+
+
+def _store_roundtrip(store: CampaignStore) -> None:
+    for start in range(0, 300, _STORE_FLUSH):
+        store.append_batch(
+            (f"{i:020x}", dict(_STORE_RECORD, secret_bits=i))
+            for i in range(start, start + _STORE_FLUSH)
+        )
+    total = sum(1 for _ in store.stream())
+    assert total == 300
+
+
+def bench_store_roundtrip():
+    """Append + dedupe-read 300 records in batched durable flushes.
+
+    The 300-file teardown is as expensive as the round-trip itself and
+    is not the store's work, so it is returned as an untimed cleanup.
+    """
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    _store_roundtrip(CampaignStore(root))
+    return lambda: shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_store_roundtrip_binary():
+    """The same round-trip under the length-prefixed binary codec."""
+    root = tempfile.mkdtemp(prefix="bench-store-rbin-")
+    _store_roundtrip(open_store(f"file:{root}?codec=binary"))
+    return lambda: shutil.rmtree(root, ignore_errors=True)
 
 
 #: Small protocol sizing for the service benchmarks: the gate watches
@@ -175,10 +242,13 @@ def bench_service_concurrent() -> None:
 BENCHMARKS = {
     "calibration": bench_calibration,
     "batched_campaign": bench_batched_campaign,
+    "campaign_cross_cell": bench_campaign_cross_cell,
+    "campaign_cross_cell_percell": bench_campaign_cross_cell_percell,
     "pertable_bridge": bench_pertable_bridge,
     "allocation_lp": bench_allocation_lp,
     "realised_flow": bench_realised_flow,
     "store_roundtrip": bench_store_roundtrip,
+    "store_roundtrip_binary": bench_store_roundtrip_binary,
     "service_handshake": bench_service_handshake,
     "service_concurrent": bench_service_concurrent,
 }
@@ -190,6 +260,7 @@ BENCHMARKS = {
 #: (an accidental O(n^2) rescan, a lost batching).
 THRESHOLD_OVERRIDES = {
     "store_roundtrip": 3.0,
+    "store_roundtrip_binary": 3.0,
 }
 
 
@@ -197,14 +268,33 @@ THRESHOLD_OVERRIDES = {
 
 
 def run_benchmarks(repeats: int) -> dict:
+    """Time every benchmark; a crashing one becomes an ``error`` row.
+
+    One broken hot path must not hide the others' numbers (or their
+    regressions), so the harness records the failure and keeps
+    measuring; the caller turns error rows into a non-zero exit.
+
+    A benchmark may return a callable: per-run teardown (deleting a
+    scratch store, say) the clock must not charge to the hot path.  It
+    runs after the timer stops.
+    """
     results = {}
     for name, fn in BENCHMARKS.items():
-        fn()  # one untimed warmup (imports, allocator, page cache)
-        moments = StreamingMoments()
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            moments.update(time.perf_counter() - t0)
+        try:
+            cleanup = fn()  # untimed warmup (imports, allocator, cache)
+            if callable(cleanup):
+                cleanup()
+            moments = StreamingMoments()
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                cleanup = fn()
+                moments.update(time.perf_counter() - t0)
+                if callable(cleanup):
+                    cleanup()
+        except Exception as exc:
+            results[name] = {"error": f"{type(exc).__name__}: {exc}"}
+            print(f"{name:28s} ERROR {type(exc).__name__}: {exc}", flush=True)
+            continue
         results[name] = {
             "best_s": moments.minimum,
             "mean_s": moments.mean,
@@ -212,7 +302,7 @@ def run_benchmarks(repeats: int) -> dict:
             "repeats": repeats,
         }
         print(
-            f"{name:20s} best {moments.minimum * 1e3:8.1f} ms   "
+            f"{name:28s} best {moments.minimum * 1e3:8.1f} ms   "
             f"mean {moments.mean * 1e3:8.1f} ms",
             flush=True,
         )
@@ -235,6 +325,10 @@ def check_against_baseline(
         if name not in current:
             failures.append(f"{name}: present in baseline but not measured")
             continue
+        if "error" in current[name]:
+            failures.append(f"{name}: crashed ({current[name]['error']})")
+            print(f"{name:28s}    ERROR   {current[name]['error']}")
+            continue
         ratio = current[name]["best_s"] / base["best_s"]
         if normalise:
             ratio /= cur_cal / base_cal
@@ -248,11 +342,17 @@ def check_against_baseline(
             )
         elif ratio < 1.0 - allowed:
             verdict = "faster (consider --update-baseline)"
-        print(f"{name:20s} {ratio:6.2f}x baseline   {verdict}")
+        print(f"{name:28s} {ratio:6.2f}x baseline   {verdict}")
     for name in sorted(set(current) - set(baseline) - {"calibration"}):
-        print(f"{name:20s} new benchmark (no baseline entry)")
+        print(f"{name:28s} new benchmark (no baseline entry)")
     if failures:
-        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        # The full list in one run: a gate that stops at the first
+        # regressed row hides every row behind it.
+        print(
+            f"\nbenchmark regression gate FAILED ({len(failures)} "
+            f"row{'s' if len(failures) != 1 else ''}):",
+            file=sys.stderr,
+        )
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
@@ -296,8 +396,10 @@ def main() -> int:
     args = parser.parse_args()
 
     results = run_benchmarks(repeats=args.repeats)
+    errors = sorted(name for name, row in results.items() if "error" in row)
     payload = {
         "label": args.label,
+        "recorded_unix": time.time(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
@@ -310,6 +412,13 @@ def main() -> int:
     print(f"\nwrote {out_path}")
 
     if args.update_baseline:
+        if errors:
+            print(
+                f"refusing to update the baseline: benchmarks crashed "
+                f"({', '.join(errors)})",
+                file=sys.stderr,
+            )
+            return 1
         with open(DEFAULT_BASELINE, "w") as f:
             json.dump(results, f, indent=1)
         print(f"updated {DEFAULT_BASELINE}")
@@ -322,6 +431,12 @@ def main() -> int:
         baseline = baseline.get("results", baseline)
         print()
         return check_against_baseline(results, baseline, args.threshold)
+    if errors:
+        print(
+            f"\n{len(errors)} benchmark(s) crashed: {', '.join(errors)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -484,7 +484,12 @@ class DurableWrite(Rule):
                     "crash-safe; use a literal mode",
                 )
                 continue
-            fsynced = _calls_in(func, ("os.fsync",))
+            # os.sync counts as the durability terminator too: the
+            # batched-append discipline buffers many shard writes and
+            # commits them with one host-wide sync per flush (Linux
+            # sync(2) waits for writeback), which is exactly as durable
+            # as per-file fsync and what makes flushes O(1) syncs.
+            fsynced = _calls_in(func, ("os.fsync", "os.sync"))
             renamed = _calls_in(func, ("os.replace", "os.rename"))
             if ("w" in mode or "x" in mode) and not (fsynced and renamed):
                 yield self.violation(

@@ -62,7 +62,12 @@ from repro.sim.campaign import (
     shard_map,
 )
 from repro.sim.engine import BatchedRoundEngine, BatchResult, run_batch
-from repro.sim.reception import ReceptionBatch, sample_receptions
+from repro.sim.reception import (
+    ReceptionBatch,
+    sample_receptions,
+    sample_receptions_stacked,
+)
+from repro.sim.stack import group_cells, run_stacked_batch, stack_signature
 from repro.sim.spec import (
     AdversarySpec,
     CollusionEstimatorSpec,
@@ -97,9 +102,14 @@ __all__ = [
     # sampling + engine
     "ReceptionBatch",
     "sample_receptions",
+    "sample_receptions_stacked",
     "BatchedRoundEngine",
     "BatchResult",
     "run_batch",
+    # cross-cell stacking
+    "stack_signature",
+    "group_cells",
+    "run_stacked_batch",
     # campaigns
     "shard_map",
     "ScenarioGrid",

@@ -42,6 +42,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.sim.engine import BatchedRoundEngine, BatchResult
+from repro.sim.stack import group_cells, run_stacked_batch
 from repro.sim.spec import (
     AdversarySpec,
     EstimatorSpec,
@@ -334,6 +335,37 @@ def _run_scenario_cell(item) -> ScenarioOutcome:
     )
 
 
+def _run_scenario_group(group) -> List[ScenarioOutcome]:
+    """Module-level group worker: one stacked pass over a tuple of
+    same-signature cell items (process pools must pickle it).
+
+    Each item is the :func:`_run_scenario_cell` triple; generators are
+    rebuilt from raw entropy exactly as the per-cell worker rebuilds
+    them, so grouping changes kernel batching only — every cell's
+    result is bit-identical to its per-cell run.
+    """
+    scenarios = [item[0] for item in group]
+    rngs = [
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+        )
+        for _, entropy, spawn_key in group
+    ]
+    results = run_stacked_batch(scenarios, rngs)
+    return [
+        ScenarioOutcome(scenario=scenario, result=result)
+        for scenario, result in zip(scenarios, results)
+    ]
+
+
+def _group_label(group) -> str:
+    """Name a stacked group in error messages by its first cell."""
+    first = group[0][0].label()
+    if len(group) == 1:
+        return first
+    return f"{first} (+{len(group) - 1} stacked)"
+
+
 class CampaignRunner:
     """Runs a scenario grid on the batched engine.
 
@@ -353,6 +385,13 @@ class CampaignRunner:
         resume: with a store, load already-completed cells instead of
             recomputing them (default).  ``False`` recomputes every
             cell and supersedes the stored records.
+        cell_batching: stack cells sharing a
+            :func:`~repro.sim.stack.stack_signature` into one kernel
+            pass (default), persisting each group with one durable
+            batched append.  ``False`` runs the historical
+            one-engine-per-cell path.  Results are bit-identical
+            either way — per-cell generators stay content-keyed — so
+            this is a throughput knob, not a semantics knob.
     """
 
     def __init__(
@@ -362,12 +401,14 @@ class CampaignRunner:
         executor: str = "auto",
         store=None,
         resume: bool = True,
+        cell_batching: bool = True,
     ) -> None:
         self.seed = seed
         self.max_workers = max_workers
         self.executor = executor
         self.store = _as_store(store)
         self.resume = resume
+        self.cell_batching = cell_batching
 
     def cell_key(self, scenario: Scenario) -> str:
         """The cell's store shard key: a content hash of (seed, spec)."""
@@ -510,6 +551,13 @@ class CampaignRunner:
                 key_of[outcome.scenario], scenario_outcome_to_json(outcome)
             )
 
+        def persist_group(item, group_outcomes) -> None:
+            # One durable flush per stacked group, not one per cell.
+            self.store.append_batch(
+                (key_of[outcome.scenario], scenario_outcome_to_json(outcome))
+                for outcome in group_outcomes
+            )
+
         def run_keys(keys) -> None:
             items = []
             for key in keys:
@@ -517,6 +565,17 @@ class CampaignRunner:
                     progress(scenarios[key])
                 seq = self.cell_seed_sequence(scenarios[key])
                 items.append((scenarios[key], seq.entropy, seq.spawn_key))
+            if self.cell_batching:
+                group_indices = group_cells([item[0] for item in items])
+                shard_map(
+                    _run_scenario_group,
+                    [tuple(items[i] for i in idxs) for idxs in group_indices],
+                    max_workers=self.max_workers,
+                    executor=self.executor,
+                    label=_group_label,
+                    on_result=persist_group,
+                )
+                return
             shard_map(
                 _run_scenario_cell,
                 items,
@@ -605,16 +664,6 @@ class CampaignRunner:
             for index in pending:
                 progress(cells[index])
 
-        on_result = None
-        if self.store is not None:
-            from repro.store.records import scenario_outcome_to_json
-
-            def on_result(item, outcome) -> None:
-                self.store.append(
-                    self.cell_key(outcome.scenario),
-                    scenario_outcome_to_json(outcome),
-                )
-
         # One seeding recipe: cell_seed_sequence is the authority, and
         # the worker rebuilds the identical sequence from its raw
         # (entropy, spawn_key) parts — the picklable form process pools
@@ -623,14 +672,54 @@ class CampaignRunner:
         for index in pending:
             seq = self.cell_seed_sequence(cells[index])
             items.append((cells[index], seq.entropy, seq.spawn_key))
-        results = shard_map(
-            _run_scenario_cell,
-            items,
-            max_workers=self.max_workers,
-            executor=self.executor,
-            label=lambda item: item[0].label(),
-            on_result=on_result,
-        )
+
+        if self.cell_batching:
+            on_group = None
+            if self.store is not None:
+                from repro.store.records import scenario_outcome_to_json
+
+                def on_group(item, group_outcomes) -> None:
+                    # One durable flush per stacked group.
+                    self.store.append_batch(
+                        (
+                            self.cell_key(outcome.scenario),
+                            scenario_outcome_to_json(outcome),
+                        )
+                        for outcome in group_outcomes
+                    )
+
+            group_indices = group_cells([item[0] for item in items])
+            group_results = shard_map(
+                _run_scenario_group,
+                [tuple(items[i] for i in idxs) for idxs in group_indices],
+                max_workers=self.max_workers,
+                executor=self.executor,
+                label=_group_label,
+                on_result=on_group,
+            )
+            results: List[Optional[ScenarioOutcome]] = [None] * len(items)
+            for idxs, group_outcomes in zip(group_indices, group_results):
+                for i, outcome in zip(idxs, group_outcomes):
+                    results[i] = outcome
+        else:
+            on_result = None
+            if self.store is not None:
+                from repro.store.records import scenario_outcome_to_json
+
+                def on_result(item, outcome) -> None:
+                    self.store.append(
+                        self.cell_key(outcome.scenario),
+                        scenario_outcome_to_json(outcome),
+                    )
+
+            results = shard_map(
+                _run_scenario_cell,
+                items,
+                max_workers=self.max_workers,
+                executor=self.executor,
+                label=lambda item: item[0].label(),
+                on_result=on_result,
+            )
         for index, outcome in zip(pending, results):
             outcomes[index] = outcome
         return SimCampaignResult(outcomes=outcomes)
@@ -662,6 +751,7 @@ def run_sim_campaign(
     store=None,
     resume: bool = True,
     manifest: Optional[str] = None,
+    cell_batching: bool = True,
 ) -> SimCampaignResult:
     """Convenience wrapper: ``CampaignRunner(...).run(grid)``."""
     return CampaignRunner(
@@ -670,4 +760,5 @@ def run_sim_campaign(
         executor=executor,
         store=store,
         resume=resume,
+        cell_batching=cell_batching,
     ).run(grid, progress=progress, manifest=manifest)

@@ -17,12 +17,13 @@ requiring *every* antenna to miss.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.sim.spec import IIDLossSpec, Scenario
 
-__all__ = ["ReceptionBatch", "sample_receptions"]
+__all__ = ["ReceptionBatch", "sample_receptions", "sample_receptions_stacked"]
 
 
 @dataclass
@@ -78,3 +79,56 @@ def sample_receptions(
         terminals=~lost_terminals,
         eve=~np.all(lost_eve, axis=1),
     )
+
+
+def sample_receptions_stacked(
+    scenarios: Sequence[Scenario],
+    rngs: Sequence[np.random.Generator],
+) -> Tuple[ReceptionBatch, List[Tuple[int, int]]]:
+    """Stack many same-shape cells into one reception tensor.
+
+    The stacked tensor is **shared storage, not shared randomness**:
+    each cell's block of rounds is filled by the exact
+    :func:`sample_receptions` call the per-cell engine makes, from the
+    cell's own generator — so per-cell draws (and everything downstream
+    of them: stored shards, resume, aggregates) stay bit-identical to
+    the unstacked path, while the accounting kernels get one tensor to
+    sweep (:mod:`repro.sim.stack`).
+
+    Args:
+        scenarios: cells agreeing on ``n_receivers`` and
+            ``n_x_packets`` (the tensor's trailing shape).
+        rngs: one private generator per cell.
+
+    Returns:
+        ``(batch, segments)`` — the stacked batch, and each cell's
+        half-open ``(start, stop)`` row range inside it, in cell order.
+    """
+    scenarios = list(scenarios)
+    rngs = list(rngs)
+    if not scenarios:
+        raise ValueError("need at least one scenario to stack")
+    if len(rngs) != len(scenarios):
+        raise ValueError("need exactly one generator per scenario")
+    r = scenarios[0].n_receivers
+    n = scenarios[0].n_x_packets
+    total = sum(int(scenario.rounds) for scenario in scenarios)
+    terminals = np.empty((total, r, n), dtype=bool)
+    eve = np.empty((total, n), dtype=bool)
+    segments: List[Tuple[int, int]] = []
+    start = 0
+    for scenario, rng in zip(scenarios, rngs):
+        if scenario.n_receivers != r or scenario.n_x_packets != n:
+            raise ValueError(
+                "stacked cells must agree on (n_receivers, n_x_packets)"
+            )
+        rounds = int(scenario.rounds)
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        cell = sample_receptions(scenario, rounds, rng)
+        stop = start + rounds
+        terminals[start:stop] = cell.terminals
+        eve[start:stop] = cell.eve
+        segments.append((start, stop))
+        start = stop
+    return ReceptionBatch(terminals=terminals, eve=eve), segments

@@ -46,7 +46,9 @@ import os
 import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.store.codec import check_codec
 
 if TYPE_CHECKING:
     from repro.store.store import CampaignStore
@@ -197,6 +199,21 @@ class StoreBackend(ABC):
     def append_record(self, key: str, line: str) -> None:
         """Durably append one complete record line to the key's shard."""
 
+    def append_batch(self, items: Sequence[Tuple[str, str]]) -> None:
+        """Durably append many ``(key, line)`` records in one flush.
+
+        Same durability contract as :meth:`append_record` — when this
+        returns, every line survives a crash; until it does, a crash
+        loses at most lines of this batch (each surfacing as *absent*,
+        never mangled).  Backends override this to amortise the sync
+        cost over the whole batch (one ``os.sync``, one transaction,
+        one conditional put per shard); the fallback is a per-record
+        loop, so callers may always batch.  In-batch order is
+        preserved per key (last line wins on read, as ever).
+        """
+        for key, line in items:
+            self.append_record(key, line)
+
     @abstractmethod
     def read_records(self, key: str) -> List[str]:
         """Every *completely written* line of the shard, in append order."""
@@ -230,9 +247,32 @@ class StoreBackend(ABC):
         """The lease backend sharing this storage (and its clock domain)."""
 
 
+def _parse_codec_query(spec: str, rest: str) -> Tuple[str, Optional[str]]:
+    """Split a ``?codec=NAME`` query off a URI's scheme-specific part.
+
+    Only ``codec`` is a known query key; anything else is an error so a
+    typo (``?codek=binary``) cannot silently open a default-codec
+    store.  Bare paths never reach here — a literal ``?`` in a
+    directory name stays a path character when no scheme was given.
+    """
+    if "?" not in rest:
+        return rest, None
+    rest, query = rest.split("?", 1)
+    codec: Optional[str] = None
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        if name != "codec":
+            raise ValueError(f"unknown store URI query {name!r} in {spec!r}")
+        codec = check_codec(value)
+    return rest, codec
+
+
 def open_backend(
     target: Union[str, "os.PathLike[str]", StoreBackend],
     create: bool = True,
+    codec: Optional[str] = None,
 ) -> StoreBackend:
     """Resolve a store URI (or bare path, or backend) to a backend.
 
@@ -242,6 +282,13 @@ def open_backend(
     backing storage must already exist (read-only status views must
     not create stores as a side effect) — :class:`FileNotFoundError`
     otherwise.
+
+    ``codec`` selects the record codec new shards are written with
+    (``jsonl``, the default, or the length-prefixed ``binary`` framing
+    of :mod:`repro.store.codec`); a ``?codec=NAME`` query on the URI
+    means the same and wins over the keyword.  Reads understand both
+    layouts regardless, so a store written under one codec reopens
+    under any.
     """
     if isinstance(target, StoreBackend):
         return target
@@ -256,6 +303,11 @@ def open_backend(
                 f"unknown store scheme {scheme!r} in {spec!r} "
                 "(known: file:, sqlite:, mem:)"
             )
+        rest, uri_codec = _parse_codec_query(spec, rest)
+        if uri_codec is not None:
+            codec = uri_codec
+    if codec is not None:
+        check_codec(codec)
     # file://host/path is out of scope; strip the empty-authority form.
     if rest.startswith("//"):
         rest = rest[2:]
@@ -264,28 +316,32 @@ def open_backend(
     if scheme == "file":
         from repro.store.backend_fs import FilesystemStoreBackend
 
-        return FilesystemStoreBackend(rest, create=create)
+        return FilesystemStoreBackend(
+            rest, create=create, codec=codec or "jsonl"
+        )
     if scheme == "sqlite":
         from repro.store.backend_sqlite import SqliteStoreBackend
 
-        return SqliteStoreBackend(rest, create=create)
+        return SqliteStoreBackend(rest, create=create, codec=codec or "jsonl")
     from repro.store.backend_mem import MemoryStoreBackend
 
-    return MemoryStoreBackend.named(rest, create=create)
+    return MemoryStoreBackend.named(rest, create=create, codec=codec)
 
 
 def open_store(
     target: Union[str, "os.PathLike[str]", StoreBackend],
     create: bool = True,
+    codec: Optional[str] = None,
 ) -> "CampaignStore":
     """Open a :class:`~repro.store.store.CampaignStore` by URI.
 
     The one entry point runners and scripts route ``--store URI``
-    through; see :func:`open_backend` for the scheme table.
+    through; see :func:`open_backend` for the scheme table and the
+    ``?codec=binary`` record-layout query.
     """
     from repro.store.store import CampaignStore
 
-    return CampaignStore(open_backend(target, create=create))
+    return CampaignStore(open_backend(target, create=create, codec=codec))
 
 
 def copy_store(
@@ -301,14 +357,19 @@ def copy_store(
     document is carried over.  This is how a volatile ``mem:`` fleet
     store is exported to a durable one at the end of a drill, and the
     seed of the cross-store fleet aggregation the roadmap names.
+
+    Records cross the interface as complete lines — the codec-neutral
+    form — so copying between stores of different record codecs
+    (``file:A`` → ``file:B?codec=binary`` and back) is a lossless
+    transcode: the destination's backend lays the same lines out in
+    its own codec.  Each shard lands in one batched append.
     """
     copied = 0
     for key in src.backend.record_keys() if keys is None else keys:
         lines = src.backend.read_records(key)
         if not lines:
             continue
-        for line in lines:
-            dst.backend.append_record(key, line)
+        dst.backend.append_batch([(key, line) for line in lines])
         copied += 1
     for name in src.backend.list_docs():
         payload = src.backend.get_doc(name)

@@ -7,6 +7,7 @@ wrote before backends existed — existing stores open unchanged):
 
     store-root/
         3f9c2a41d0b8e7665f21.jsonl     # one shard per record key
+        9b01d4c7aa35e2f08c44.rbin      # ...binary-codec shards (?codec=binary)
         nightly-ref.manifest.json      # documents (sweep manifests)
         leases/
             .clock.<worker-token>      # clock-domain probe files
@@ -34,7 +35,7 @@ import socket
 import time
 import uuid
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import IO, Dict, List, Optional, Sequence, Union
 
 from repro.store.backend import (
     LeaseBackend,
@@ -42,6 +43,13 @@ from repro.store.backend import (
     StoreBackend,
     check_key,
     check_name,
+)
+from repro.store.codec import (
+    BINARY_EXTENSION,
+    check_codec,
+    decode_frames,
+    encode_frames,
+    scan_frames,
 )
 
 __all__ = ["FilesystemLeaseBackend", "FilesystemStoreBackend"]
@@ -276,7 +284,18 @@ class FilesystemLeaseBackend(LeaseBackend):
 
 
 class FilesystemStoreBackend(StoreBackend):
-    """One directory of JSONL shards, manifest documents, and leases."""
+    """One directory of record shards, manifest documents, and leases.
+
+    ``codec`` selects the layout *new* shards are written with:
+    ``jsonl`` (the historical fsynced-lines format, byte-identical to
+    what PR 4/5 wrote) or ``binary`` (the length-prefixed CRC frames
+    of :mod:`repro.store.codec`, as ``.rbin`` files).  Reads dispatch
+    on each shard file's extension, and appends stick to an existing
+    shard's on-disk layout — so a store written under one codec
+    reopens, resumes, and appends correctly under any, and a single
+    directory may hold both layouts side by side (e.g. after a
+    partial transcode).
+    """
 
     scheme = "file"
 
@@ -284,8 +303,10 @@ class FilesystemStoreBackend(StoreBackend):
         self,
         root: Union[str, "os.PathLike[str]"],
         create: bool = True,
+        codec: str = "jsonl",
     ) -> None:
         self.root = Path(root)
+        self.codec = check_codec(codec)
         if create:
             # Eagerly, so ``--store DIR`` fails fast on an unwritable
             # path rather than mid-campaign.
@@ -296,12 +317,65 @@ class FilesystemStoreBackend(StoreBackend):
 
     @property
     def uri(self) -> str:
+        if self.codec != "jsonl":
+            return f"file:{self.root}?codec={self.codec}"
         return f"file:{self.root}"
 
     # -- records -----------------------------------------------------------
 
     def shard_path(self, key: str) -> Path:
-        return self.root / f"{check_key(key)}.jsonl"
+        """The key's shard file: the existing one, else the codec's.
+
+        An existing shard keeps its layout whatever codec the store was
+        opened with (appends must extend what is on disk); a fresh key
+        gets the store codec's extension.  ``.jsonl`` wins the
+        pathological both-exist case deterministically.
+        """
+        check_key(key)
+        for ext in (".jsonl", BINARY_EXTENSION):
+            path = self.root / f"{key}{ext}"
+            if path.exists():
+                return path
+        ext = BINARY_EXTENSION if self.codec == "binary" else ".jsonl"
+        return self.root / f"{key}{ext}"
+
+    @staticmethod
+    def _seal_jsonl(f: IO[bytes]) -> None:
+        """Terminate a torn JSONL trailer so the next record starts clean.
+
+        A previous crash may have left an unterminated fragment; sealed
+        with ``\\n`` it parses as one dead line instead of swallowing
+        the record about to be appended.
+        """
+        if f.tell() > 0:
+            f.seek(-1, os.SEEK_END)
+            if f.read(1) != b"\n":
+                f.write(b"\n")
+
+    @staticmethod
+    def _seal_binary(f: IO[bytes]) -> None:
+        """Truncate crash debris after the last complete binary frame.
+
+        Frames carry no terminator, so a torn trailer would otherwise
+        hide every frame appended after it from the scan.  Binary
+        shards are small (a handful of records), so re-scanning the
+        file on append is cheap certainty.
+        """
+        if f.tell() > 0:
+            f.seek(0)
+            _, consumed = scan_frames(f.read())
+            f.truncate(consumed)
+
+    def _write_records(self, f: IO[bytes], path: Path, lines: Sequence[str]) -> None:
+        """Seal the shard and buffer ``lines`` in its on-disk layout."""
+        if path.suffix == BINARY_EXTENSION:
+            self._seal_binary(f)
+            f.write(encode_frames(lines))
+        else:
+            self._seal_jsonl(f)
+            f.write(
+                b"".join(line.encode("utf-8") + b"\n" for line in lines)
+            )
 
     def append_record(self, key: str, line: str) -> None:
         path = self.shard_path(key)
@@ -315,27 +389,50 @@ class FilesystemStoreBackend(StoreBackend):
             self.root.mkdir(parents=True, exist_ok=True)
             f = open(path, "a+b")
         with f:
-            if f.tell() > 0:
-                # A previous crash may have left a torn trailer; seal it
-                # with a terminator so this record starts on its own
-                # line (the fragment then parses as one dead line
-                # instead of swallowing the new record).
-                f.seek(-1, os.SEEK_END)
-                if f.read(1) != b"\n":
-                    f.write(b"\n")
-            f.write(line.encode("utf-8") + b"\n")
+            self._write_records(f, path, [line])
             f.flush()
             os.fsync(f.fileno())
 
-    def read_records(self, key: str) -> List[str]:
-        """The shard's newline-terminated lines, torn trailer excluded.
+    def append_batch(self, items: Sequence[Tuple[str, str]]) -> None:
+        """Batched appends: buffered writes, then **one** ``os.sync``.
 
-        A line only counts once its terminator hit the disk — the
-        crash signature (truncated JSON, no ``\\n``) ends the scan, so
-        a torn write surfaces as *no* line, never a mangled one.
+        Per-record ``fsync`` dominates campaign persistence (one disk
+        round-trip per cell); a flush of G records pays it once.
+        ``os.sync`` commits *every* dirty buffer on the host — on
+        Linux it returns only after the writeback completes — so when
+        this returns, the whole batch is as durable as G fsynced
+        appends, at roughly 1/G of the sync cost.  A crash mid-batch
+        leaves torn trailers the readers and sealers already handle.
+        """
+        grouped: Dict[str, List[str]] = {}
+        for key, line in items:
+            grouped.setdefault(key, []).append(line)
+        if not grouped:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        for key, lines in grouped.items():
+            path = self.shard_path(key)
+            with open(path, "a+b") as f:
+                self._write_records(f, path, lines)
+                f.flush()
+        os.sync()
+
+    def read_records(self, key: str) -> List[str]:
+        """The shard's complete record lines, torn trailer excluded.
+
+        A record only counts once its write completed — the crash
+        signature (an unterminated JSONL line; a short or CRC-failing
+        binary frame) ends the scan, so a torn write surfaces as *no*
+        line, never a mangled one.
         """
         path = self.shard_path(key)
         lines: List[str] = []
+        if path.suffix == BINARY_EXTENSION:
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                return lines
+            return [line for line in decode_frames(data) if line.strip()]
         try:
             f = open(path, "r", encoding="utf-8")
         except FileNotFoundError:
@@ -350,10 +447,13 @@ class FilesystemStoreBackend(StoreBackend):
         return lines
 
     def record_keys(self) -> List[str]:
-        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+        return sorted(
+            {p.stem for p in self.root.glob("*.jsonl")}
+            | {p.stem for p in self.root.glob(f"*{BINARY_EXTENSION}")}
+        )
 
     def count_keys(self) -> int:
-        return sum(1 for _ in self.root.glob("*.jsonl"))
+        return len(self.record_keys())
 
     # -- documents ---------------------------------------------------------
 
@@ -387,6 +487,7 @@ class FilesystemStoreBackend(StoreBackend):
             if p.is_file()
             and not p.name.startswith(".")
             and not p.name.endswith(".jsonl")
+            and not p.name.endswith(BINARY_EXTENSION)
         )
 
     # -- leases ------------------------------------------------------------

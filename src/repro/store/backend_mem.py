@@ -45,7 +45,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.store.backend import (
     LeaseBackend,
@@ -54,6 +54,7 @@ from repro.store.backend import (
     check_key,
     check_name,
 )
+from repro.store.codec import check_codec, decode_frames, encode_frames, scan_frames
 
 __all__ = ["MemoryLeaseBackend", "MemoryObjectStore", "MemoryStoreBackend"]
 
@@ -173,23 +174,43 @@ class MemoryObjectStore:
 
 
 class MemoryStoreBackend(StoreBackend):
-    """Records, documents, and leases over a :class:`MemoryObjectStore`."""
+    """Records, documents, and leases over a :class:`MemoryObjectStore`.
+
+    ``codec`` picks the record layout of *new* shard objects: ``jsonl``
+    (newline-terminated lines, the historical form) or ``binary`` (the
+    length-prefixed CRC frames of :mod:`repro.store.codec`).  Object
+    bodies here are strings, so a binary shard's frame bytes ride as
+    their latin-1 text — the lossless bytes↔str carrier — emulating
+    the byte bodies a real object store holds.  Reads sniff each
+    shard's layout from its leading magic (a JSON record line can
+    never start with the frame magic), so shards of both layouts
+    coexist and reopen under any codec.
+    """
 
     scheme = "mem"
 
-    def __init__(self, name: str = "default") -> None:
+    def __init__(self, name: str = "default", codec: str = "jsonl") -> None:
         self.name = check_name(name)
+        self.codec = check_codec(codec)
         self.objects = MemoryObjectStore()
         self._leases = MemoryLeaseBackend(self.objects)
 
     @classmethod
-    def named(cls, name: str, create: bool = True) -> "MemoryStoreBackend":
+    def named(
+        cls,
+        name: str,
+        create: bool = True,
+        codec: Optional[str] = None,
+    ) -> "MemoryStoreBackend":
         """The process-global store registered under ``name``.
 
         ``mem:`` URIs resolve here, so every component of a drill that
         opens ``mem:ci`` shares one object graph.  ``create=False``
         requires the name to be registered already (read-only status
-        views must not conjure empty stores).
+        views must not conjure empty stores).  An explicit ``codec``
+        on an already-registered name must agree with the registered
+        store's — the name denotes *one* store, and silently handing
+        back a different write layout would make ``?codec=`` a no-op.
         """
         name = check_name(name or "default")
         with _REGISTRY_LOCK:
@@ -197,8 +218,14 @@ class MemoryStoreBackend(StoreBackend):
             if backend is None:
                 if not create:
                     raise FileNotFoundError(f"no mem: store named {name!r}")
-                backend = cls(name)
+                backend = cls(name, codec=codec or "jsonl")
                 _REGISTRY[name] = backend
+            elif codec is not None and codec != backend.codec:
+                raise ValueError(
+                    f"mem: store {name!r} is registered with codec "
+                    f"{backend.codec!r}; reopen without ?codec= or "
+                    "discard it first"
+                )
             return backend
 
     @classmethod
@@ -209,18 +236,45 @@ class MemoryStoreBackend(StoreBackend):
 
     @property
     def uri(self) -> str:
+        if self.codec != "jsonl":
+            return f"mem:{self.name}?codec={self.codec}"
         return f"mem:{self.name}"
 
     # -- records -----------------------------------------------------------
 
+    #: Binary shards are sniffed by the frame magic riding as latin-1
+    #: text; a JSONL shard's first byte is always ``{`` (strict-JSON
+    #: object records), so the prefix is unambiguous.
+    _BINARY_PREFIX = "RB"
+
     def _shard(self, key: str) -> str:
         return f"records/{check_key(key)}"
 
-    def append_record(self, key: str, line: str) -> None:
+    def _extended(self, payload: Optional[str], lines: Sequence[str]) -> str:
+        """The shard body with ``lines`` appended in its own layout.
+
+        An existing shard keeps its layout (sealing any torn trailer
+        first — an injected fault may have left a partial line or a
+        half frame); a fresh shard uses the store codec.
+        """
+        if payload is None:
+            binary = self.codec == "binary"
+            payload = ""
+        else:
+            binary = payload.startswith(self._BINARY_PREFIX)
+        if binary:
+            buf = payload.encode("latin-1")
+            _, good = scan_frames(buf)
+            return (buf[:good] + encode_frames(lines)).decode("latin-1")
+        if payload and not payload.endswith("\n"):
+            payload += "\n"
+        return payload + "".join(line + "\n" for line in lines)
+
+    def _append_lines(self, key: str, lines: Sequence[str]) -> None:
         """Read-modify-conditional-put append; retries lost races.
 
         The retry loop is what an S3 "append" actually is: read the
-        shard (noting its etag), add the line, put back with
+        shard (noting its etag), add the lines, put back with
         ``If-Match``.  A concurrent appender changes the etag and this
         writer simply re-reads — no line is ever lost or doubled.
         """
@@ -229,23 +283,40 @@ class MemoryStoreBackend(StoreBackend):
             current = self.objects.get(path)
             try:
                 if current is None:
-                    self.objects.put(path, line + "\n", if_none_match=True)
+                    self.objects.put(
+                        path, self._extended(None, lines), if_none_match=True
+                    )
                 else:
                     etag, payload = current
-                    if payload and not payload.endswith("\n"):
-                        # Seal a torn trailer (an injected fault left a
-                        # partial line) so this record starts clean.
-                        payload += "\n"
-                    self.objects.put(path, payload + line + "\n", if_match=etag)
+                    self.objects.put(
+                        path, self._extended(payload, lines), if_match=etag
+                    )
             except PreconditionFailed:
                 continue
             return
+
+    def append_record(self, key: str, line: str) -> None:
+        self._append_lines(key, [line])
+
+    def append_batch(self, items: Sequence[Tuple[str, str]]) -> None:
+        """One conditional put per shard instead of one per record."""
+        grouped: Dict[str, List[str]] = {}
+        for key, line in items:
+            grouped.setdefault(key, []).append(line)
+        for key, lines in grouped.items():
+            self._append_lines(key, lines)
 
     def read_records(self, key: str) -> List[str]:
         found = self.objects.get(self._shard(key))
         if found is None:
             return []
         _, payload = found
+        if payload.startswith(self._BINARY_PREFIX):
+            return [
+                line
+                for line in decode_frames(payload.encode("latin-1"))
+                if line.strip()
+            ]
         lines: List[str] = []
         for raw in payload.splitlines(keepends=True):
             if not raw.endswith("\n"):

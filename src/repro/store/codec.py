@@ -1,0 +1,123 @@
+"""Record codecs: how a shard's record lines are laid out at rest.
+
+The store's interchange format is — and stays — JSONL: one strict-JSON
+record per ``\\n``-terminated line, the format every tool in the repo
+reads and writes and the one :func:`repro.store.backend.copy_store`
+replicates.  This module adds an *optional* *binary* layout for the
+same lines, selected per store with a ``?codec=binary`` URI query
+(``file:/dir?codec=binary``): each record is a length-prefixed,
+CRC-guarded frame holding the canonical JSON line's UTF-8 bytes.
+
+Frame layout (all integers little-endian)::
+
+    +----------+----------------+---------------+-----------------+
+    | magic 2B | payload len u32| CRC32 u32     | payload (len B) |
+    |  b"RB"   |                | of the payload| UTF-8 JSON line |
+    +----------+----------------+---------------+-----------------+
+
+Why frames instead of lines:
+
+* **Appends need no escaping scan.**  A line-oriented append must
+  guarantee the payload holds no raw newline; a framed append writes
+  ``len`` then bytes, whatever they are.
+* **Torn writes self-identify.**  A crash mid-append leaves a trailing
+  fragment that fails the magic, length, or CRC check;
+  :func:`scan_frames` stops there, so — exactly like the JSONL torn
+  trailer — an interrupted write surfaces as *no* record, never a
+  mangled one.
+* **The CRC catches bit rot** that a truncated-JSON heuristic cannot
+  (a flipped bit inside a long float still parses as JSON).
+
+Codecs change only how bytes rest on the medium.  Every backend still
+speaks complete record *lines* at the :class:`StoreBackend` interface,
+which is why ``copy_store`` transcodes losslessly in both directions
+without knowing codecs exist — it copies lines, and each side's
+backend frames or terminates them as its own codec dictates.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterable, List, Tuple
+
+__all__ = [
+    "BINARY_EXTENSION",
+    "CODECS",
+    "check_codec",
+    "decode_frames",
+    "encode_frame",
+    "encode_frames",
+    "scan_frames",
+]
+
+#: The codecs a store may be opened with (``?codec=`` URI query).
+CODECS: Tuple[str, ...] = ("jsonl", "binary")
+
+#: Filename extension of binary-framed filesystem shards (JSONL shards
+#: keep their historical ``.jsonl``).
+BINARY_EXTENSION = ".rbin"
+
+_MAGIC = b"RB"
+_HEADER = struct.Struct("<2sII")  # magic, payload length, CRC32
+
+
+def check_codec(codec: str) -> str:
+    if codec not in CODECS:
+        raise ValueError(
+            f"unknown record codec {codec!r} (known: {', '.join(CODECS)})"
+        )
+    return codec
+
+
+def encode_frame(line: str) -> bytes:
+    """One record line as a framed binary blob.
+
+    The framing is canonical — a given line always encodes to the same
+    bytes — so re-framing a decoded shard reproduces it byte for byte.
+    """
+    payload = line.encode("utf-8")
+    return _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_frames(lines: Iterable[str]) -> bytes:
+    """Concatenated frames for a sequence of record lines."""
+    return b"".join(encode_frame(line) for line in lines)
+
+
+def scan_frames(buf: bytes) -> Tuple[List[str], int]:
+    """Decode the longest valid frame prefix of ``buf``.
+
+    Returns ``(lines, consumed)``: the record lines of every complete,
+    CRC-valid frame from the start of the buffer, and how many bytes
+    they span.  The scan stops at the first torn or corrupt frame —
+    the binary analogue of the JSONL reader stopping at an
+    unterminated trailer — so ``buf[:consumed]`` is the shard's
+    known-good prefix and everything after it is crash debris.
+    """
+    lines: List[str] = []
+    offset = 0
+    size = len(buf)
+    while size - offset >= _HEADER.size:
+        magic, length, crc = _HEADER.unpack_from(buf, offset)
+        if magic != _MAGIC:
+            break
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn mid-payload
+        payload = buf[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # bit rot or torn mid-header of the *next* write
+        try:
+            lines.append(payload.decode("utf-8"))
+        except UnicodeDecodeError:
+            break
+        offset = end
+    return lines, offset
+
+
+def decode_frames(buf: bytes) -> List[str]:
+    """Every complete frame's record line, in append order."""
+    lines, _ = scan_frames(buf)
+    return lines

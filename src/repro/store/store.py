@@ -40,7 +40,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.store.backend import StoreBackend
 
@@ -118,6 +118,25 @@ class CampaignStore:
         """
         line = json.dumps(record, separators=(",", ":"), allow_nan=False)
         self.backend.append_record(key, line)
+
+    def append_batch(
+        self, items: Iterable[Tuple[str, Dict[str, Any]]]
+    ) -> None:
+        """Durably append many ``(key, record)`` pairs in one flush.
+
+        One sync however many records the batch holds (one ``os.sync``
+        on the filesystem backend, one transaction on sqlite, one
+        conditional put per shard on ``mem:``) — the write-side half
+        of the cross-cell batched campaign.  Durability on return is
+        the same as a sequence of :meth:`append` calls; a crash
+        mid-batch loses at most lines of this batch.
+        """
+        self.backend.append_batch(
+            [
+                (key, json.dumps(record, separators=(",", ":"), allow_nan=False))
+                for key, record in items
+            ]
+        )
 
     # -- reads ------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from typing import Callable
 import numpy as np
 from repro.sim import IIDLossSpec, OracleEstimatorSpec, ScenarioGrid
 from repro.store import ManifestEntry, SweepManifest
+from repro.store.codec import check_codec, encode_frames, scan_frames
 
 #: The sweep used by the recovery scenarios: four cells, small enough
 #: to drain in seconds, large enough that a killed worker leaves real
@@ -58,17 +59,36 @@ def toy_manifest(name="toy", n=3):
 #
 # "Tear" = make the shard look exactly as it would after a crash killed
 # the *last* record's write mid-flight, using the backend's own failure
-# vocabulary: a truncated unterminated line on the filesystem and the
-# object store, an uncommitted (absent) row on sqlite.
+# vocabulary: a truncated unterminated line (jsonl) or half a frame
+# (binary) on the filesystem and the object store, an uncommitted
+# (absent) row on sqlite.
+
+
+def _tear_jsonl_lines(lines):
+    assert lines, "cannot tear an empty shard"
+    return b"".join(lines[:-1]) + lines[-1].rstrip(b"\n")[
+        : max(1, len(lines[-1]) // 2)
+    ]
+
+
+def _tear_binary_frames(data):
+    # Framing is canonical (one line -> one byte string), so the prefix
+    # of all-but-the-last record re-encodes to the shard's own bytes;
+    # half of the final frame lands on top, exactly a mid-write kill.
+    lines, consumed = scan_frames(data)
+    assert lines and consumed == len(data), "cannot tear an empty shard"
+    prefix = encode_frames(lines[:-1])
+    last = data[len(prefix):consumed]
+    return prefix + last[: max(1, len(last) // 2)]
 
 
 def _tear_file(store, key):
     path = store.shard_path(key)
-    lines = path.read_bytes().splitlines(keepends=True)
-    assert lines, "cannot tear an empty shard"
-    torn = b"".join(lines[:-1]) + lines[-1].rstrip(b"\n")[
-        : max(1, len(lines[-1]) // 2)
-    ]
+    data = path.read_bytes()
+    if path.suffix == ".rbin":
+        torn = _tear_binary_frames(data)
+    else:
+        torn = _tear_jsonl_lines(data.splitlines(keepends=True))
     path.write_bytes(torn)
 
 
@@ -86,10 +106,14 @@ def _tear_mem(store, key):
     found = objects.get(f"records/{key}")
     assert found is not None, "cannot tear an empty shard"
     etag, payload = found
-    lines = payload.splitlines(keepends=True)
-    torn = "".join(lines[:-1]) + lines[-1].rstrip("\n")[
-        : max(1, len(lines[-1]) // 2)
-    ]
+    if payload.startswith("RB"):
+        torn = _tear_binary_frames(payload.encode("latin-1")).decode("latin-1")
+    else:
+        lines = payload.splitlines(keepends=True)
+        assert lines, "cannot tear an empty shard"
+        torn = "".join(lines[:-1]) + lines[-1].rstrip("\n")[
+            : max(1, len(lines[-1]) // 2)
+        ]
     objects.put(f"records/{key}", torn, if_match=etag)
 
 
@@ -141,3 +165,17 @@ def selected_backends():
             f"unknown backends in REPRO_CONFORMANCE_BACKENDS: {unknown}"
         )
     return names
+
+
+def selected_codec():
+    """The at-rest record codec CI selected for this conformance run.
+
+    ``REPRO_CONFORMANCE_CODEC=binary`` reruns the whole suite with
+    every store opened under the length-prefixed binary codec (the
+    ``store_uri`` fixture appends ``?codec=binary``); unset or
+    ``jsonl`` keeps the historical text layout.
+    """
+    raw = os.environ.get("REPRO_CONFORMANCE_CODEC", "").strip()
+    if not raw:
+        return "jsonl"
+    return check_codec(raw)

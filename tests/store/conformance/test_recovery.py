@@ -153,6 +153,13 @@ class DyingStore(CampaignStore):
         self.budget -= 1
         super().append(key, record)
 
+    def append_batch(self, items):
+        # Route the batched checkpoint path through the same budget:
+        # the kill lands between records, exactly like a per-record
+        # death (a torn batch is covered by shard tearing).
+        for key, record in items:
+            self.append(key, record)
+
 
 class TestResumeBitIdentity:
     def test_interrupted_then_resumed_equals_serial(self, store):

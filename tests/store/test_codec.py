@@ -1,0 +1,267 @@
+"""Binary record codec: framing, roundtrips, and JSONL equivalence.
+
+JSONL stays the interchange format; ``?codec=binary`` only changes how
+record lines rest on the medium.  These tests pin the tentpole
+contract: the same campaign writes the same *records* under either
+codec on every backend, ``copy_store`` transcodes losslessly in both
+directions, and torn or corrupt binary trailers degrade exactly like
+torn JSONL lines — an incomplete write is *no* record, never a
+mangled one.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    CampaignRunner,
+    IIDLossSpec,
+    LeaveOneOutEstimatorSpec,
+    OracleEstimatorSpec,
+    ScenarioGrid,
+)
+from repro.store import CampaignStore, copy_store, open_store
+from repro.store.backend import open_backend
+from repro.store.backend_mem import MemoryStoreBackend
+from repro.store.codec import (
+    BINARY_EXTENSION,
+    check_codec,
+    decode_frames,
+    encode_frame,
+    encode_frames,
+    scan_frames,
+)
+
+LINES = [
+    json.dumps({"kind": "experiment", "i": i, "x": 0.25 * i})
+    for i in range(5)
+]
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        buf = encode_frames(LINES)
+        assert decode_frames(buf) == LINES
+
+    def test_framing_is_canonical(self):
+        """One line always encodes to the same bytes, so re-framing a
+        decoded shard reproduces it byte for byte (what makes binary
+        shard tearing and transcode equivalence exact)."""
+        buf = encode_frames(LINES)
+        assert encode_frames(decode_frames(buf)) == buf
+
+    def test_empty_buffer(self):
+        assert scan_frames(b"") == ([], 0)
+
+    def test_torn_payload_stops_scan(self):
+        buf = encode_frames(LINES)
+        torn = buf[:-3]
+        lines, consumed = scan_frames(torn)
+        assert lines == LINES[:-1]
+        assert consumed == len(encode_frames(LINES[:-1]))
+
+    def test_torn_header_stops_scan(self):
+        keep = encode_frames(LINES[:2])
+        lines, consumed = scan_frames(keep + b"RB\x10")
+        assert lines == LINES[:2]
+        assert consumed == len(keep)
+
+    def test_bad_magic_stops_scan(self):
+        keep = encode_frames(LINES[:2])
+        junk = encode_frame(LINES[2]).replace(b"RB", b"XX", 1)
+        assert scan_frames(keep + junk)[0] == LINES[:2]
+
+    def test_crc_failure_stops_scan(self):
+        frame = bytearray(encode_frame(LINES[0]))
+        frame[-1] ^= 0x40  # flip a payload bit; length still valid
+        lines, consumed = scan_frames(bytes(frame))
+        assert lines == [] and consumed == 0
+
+    def test_invalid_utf8_stops_scan(self):
+        import struct
+        import zlib
+
+        payload = b"\xff\xfe"
+        frame = struct.pack("<2sII", b"RB", len(payload),
+                            zlib.crc32(payload)) + payload
+        assert scan_frames(frame) == ([], 0)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown record codec"):
+            check_codec("msgpack")
+
+
+def _uris(tmp_path, codec):
+    suffix = f"?codec={codec}" if codec else ""
+    return [
+        f"file:{tmp_path}/fs-{codec or 'default'}{suffix}",
+        f"sqlite:{tmp_path}/db-{codec or 'default'}.sqlite{suffix}",
+        f"mem:codec-suite-{codec or 'default'}{suffix}",
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _drop_mem_stores():
+    yield
+    from repro.store.backend_mem import _REGISTRY
+
+    for name in list(_REGISTRY):
+        if name.startswith("codec-suite-"):
+            MemoryStoreBackend.discard(name)
+
+
+class TestBinaryStoreEquivalence:
+    def test_same_records_either_codec_every_backend(self, tmp_path):
+        for jsonl_uri, binary_uri in zip(
+            _uris(tmp_path, None), _uris(tmp_path, "binary")
+        ):
+            a = open_store(jsonl_uri)
+            b = open_store(binary_uri)
+            for i, line in enumerate(LINES):
+                record = json.loads(line)
+                a.append(f"{i:020x}", record)
+                b.append(f"{i:020x}", record)
+            assert a.keys() == b.keys()
+            for key in a.keys():
+                assert a.records(key) == b.records(key), binary_uri
+
+    def test_append_batch_equals_per_record_appends(self, tmp_path):
+        for codec in (None, "binary"):
+            one, batch = (
+                open_store(f"file:{tmp_path}/{codec}-{tag}"
+                           + (f"?codec={codec}" if codec else ""))
+                for tag in ("one", "batch")
+            )
+            items = [(f"{i % 2:020x}", json.loads(line))
+                     for i, line in enumerate(LINES)]
+            for key, record in items:
+                one.append(key, record)
+            batch.append_batch(items)
+            for key in one.keys():
+                assert (
+                    one.shard_path(key).read_bytes()
+                    == batch.shard_path(key).read_bytes()
+                )
+
+    def test_binary_shards_use_rbin_extension(self, tmp_path):
+        store = open_store(f"file:{tmp_path}?codec=binary")
+        store.append("0" * 20, {"kind": "experiment"})
+        (path,) = [store.shard_path(key) for key in store.keys()]
+        assert path.suffix == BINARY_EXTENSION
+        assert path.read_bytes().startswith(b"RB")
+
+    def test_appends_stick_to_existing_shard_layout(self, tmp_path):
+        """Reopening a JSONL store under ?codec=binary must extend the
+        existing shard in its own layout, never mix framings."""
+        key = "1" * 20
+        open_store(f"file:{tmp_path}").append(key, {"i": 0})
+        binary_view = open_store(f"file:{tmp_path}?codec=binary")
+        binary_view.append(key, {"i": 1})
+        (path,) = [binary_view.shard_path(k) for k in binary_view.keys()]
+        assert path.suffix == ".jsonl"
+        assert binary_view.records(key) == [{"i": 0}, {"i": 1}]
+
+    def test_torn_binary_trailer_reads_clean_and_seals(self, tmp_path):
+        store = open_store(f"file:{tmp_path}?codec=binary")
+        key = "2" * 20
+        store.append(key, {"i": 0})
+        path = store.shard_path(key)
+        path.write_bytes(path.read_bytes() + b"RB\x99")  # crash debris
+        assert store.records(key) == [{"i": 0}]
+        store.append(key, {"i": 1})  # append seals the torn trailer
+        assert decode_frames(path.read_bytes()) == [
+            json.dumps({"i": 0}, separators=(",", ":")),
+            json.dumps({"i": 1}, separators=(",", ":")),
+        ]
+
+
+class TestCopyStoreTranscode:
+    def test_lossless_both_directions(self, tmp_path):
+        """file:A → binary → jsonl restores A's shard bytes exactly;
+        the intermediate holds the same records."""
+        a = open_store(f"file:{tmp_path}/a")
+        for i, line in enumerate(LINES):
+            a.append(f"{i:020x}", json.loads(line))
+        b = open_store(f"file:{tmp_path}/b?codec=binary")
+        c = open_store(f"file:{tmp_path}/c")
+        assert copy_store(a, b) == len(LINES)
+        assert copy_store(b, c) == len(LINES)
+        for key in a.keys():
+            assert b.records(key) == a.records(key)
+            assert (
+                c.shard_path(key).read_bytes()
+                == a.shard_path(key).read_bytes()
+            )
+
+    def test_transcode_across_backends(self, tmp_path):
+        src = open_store(f"sqlite:{tmp_path}/src.sqlite?codec=binary")
+        for i, line in enumerate(LINES):
+            src.append(f"{i:020x}", json.loads(line))
+        dst = open_store("mem:codec-suite-dst")
+        copy_store(src, dst)
+        for key in src.keys():
+            assert dst.records(key) == src.records(key)
+
+
+class TestCodecUri:
+    def test_unknown_codec_in_uri(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown record codec"):
+            open_store(f"file:{tmp_path}?codec=msgpack")
+
+    def test_unknown_query_key_in_uri(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store URI query"):
+            open_store(f"file:{tmp_path}?codek=binary")
+
+    def test_uri_roundtrips_codec(self, tmp_path):
+        backend = open_backend(f"file:{tmp_path}?codec=binary")
+        reopened = open_backend(backend.uri)
+        assert reopened.uri == backend.uri
+
+    def test_keyword_codec_and_uri_priority(self, tmp_path):
+        backend = open_backend(f"file:{tmp_path}", codec="binary")
+        assert "codec=binary" in backend.uri
+        # An explicit URI query beats the keyword.
+        backend = open_backend(f"file:{tmp_path}?codec=jsonl", codec="binary")
+        assert "codec=" not in backend.uri
+
+    def test_mem_codec_conflict_rejected(self, tmp_path):
+        open_store("mem:codec-suite-conflict?codec=binary")
+        with pytest.raises(ValueError, match="codec"):
+            open_store("mem:codec-suite-conflict?codec=jsonl")
+        # No explicit codec: reopening is fine, store codec sticks.
+        again = open_store("mem:codec-suite-conflict")
+        assert "codec=binary" in again.backend.uri
+
+
+GRID = ScenarioGrid(
+    group_sizes=(3, 4),
+    loss_models=(IIDLossSpec(0.3), IIDLossSpec(0.5)),
+    estimators=(OracleEstimatorSpec(), LeaveOneOutEstimatorSpec(0.05)),
+    rounds=20,
+    n_x_packets=40,
+)
+
+
+class TestCampaignThroughBinaryStore:
+    def test_campaign_records_match_jsonl_store(self, tmp_path):
+        jsonl = open_store(f"file:{tmp_path}/jsonl")
+        binary = open_store(f"file:{tmp_path}/binary?codec=binary")
+        CampaignRunner(seed=9, store=jsonl).run(GRID)
+        CampaignRunner(seed=9, store=binary).run(GRID)
+        assert jsonl.keys() == binary.keys()
+        for key in jsonl.keys():
+            assert jsonl.records(key) == binary.records(key)
+
+    def test_resume_mid_grid_under_binary_codec(self, tmp_path):
+        cells = GRID.scenarios()
+        reference = CampaignRunner(seed=9).run(cells)
+        store = open_store(f"file:{tmp_path}?codec=binary")
+        CampaignRunner(seed=9, store=store).run(cells[:3])
+        computed = []
+        resumed = CampaignRunner(seed=9, store=store).run(
+            cells, progress=computed.append
+        )
+        assert len(computed) == len(cells) - 3
+        from tests.sim.test_stack import assert_outcomes_identical
+
+        assert_outcomes_identical(reference, resumed)

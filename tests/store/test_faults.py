@@ -335,6 +335,10 @@ class TestHookFailureLabelling:
             def append(self, key, record):
                 raise OSError("disk full")
 
+            def append_batch(self, items):
+                for key, record in items:
+                    self.append(key, record)
+
         store = ExplodingStore(tmp_path)
         CampaignRunner(seed=9, store=CampaignStore(tmp_path)).write_manifest(
             GRID, "sweep"
