@@ -44,7 +44,13 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.analysis.stats import StreamingMoments  # noqa: E402
-from repro.service import ServiceConfig, run_load, run_memory_group  # noqa: E402
+from repro.core.eve import round_leakage  # noqa: E402
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    build_reference_session,
+    run_load,
+    run_memory_group,
+)
 from repro.sim import (  # noqa: E402
     CampaignRunner,
     CollusionEstimatorSpec,
@@ -233,6 +239,28 @@ def bench_service_handshake() -> None:
     asyncio.run(sessions())
 
 
+def bench_leakage_accounting() -> None:
+    """The measured-secrecy hot loop: rank-oracle ``round_leakage``
+    over one round's coefficients, repeated across reception sets.
+
+    Both service engines (and the per-packet simulator) pay this per
+    round, so the gate watches the accounting itself — isolated from
+    the handshake machinery timed by ``service_handshake``.
+    """
+    config = ServiceConfig(n_x_packets=64, payload_bytes=16)
+    session = build_reference_session(config, "alice", ("bob", "carol"))
+    outcome = session.run_round("alice", 0)
+    all_ids = list(range(config.n_x_packets))
+    for stride in range(2, 202):
+        report = round_leakage(
+            outcome.allocation,
+            outcome.plan,
+            frozenset(all_ids[:: stride % 5 + 2]),
+            all_ids,
+        )
+        assert 0 <= report.hidden_dims <= report.secret_dims
+
+
 def bench_service_concurrent() -> None:
     """100 concurrent sessions through the load generator (one loop)."""
     report = asyncio.run(run_load(_SERVICE_BENCH_CONFIG, 100, concurrency=50))
@@ -251,6 +279,7 @@ BENCHMARKS = {
     "store_roundtrip_binary": bench_store_roundtrip_binary,
     "service_handshake": bench_service_handshake,
     "service_concurrent": bench_service_concurrent,
+    "leakage_accounting": bench_leakage_accounting,
 }
 
 #: Per-benchmark slowdown allowances overriding ``--threshold``.  The

@@ -9,7 +9,11 @@ throughput and handshake-latency percentiles:
 
     sessions     1000/1000 established
     elapsed      8.41 s   (118.9 sessions/s)
-    latency      p50 523.1 ms   p99 1042.7 ms
+    latency      p50 523.1 ms   p99 1042.7 ms   (n=1000)
+
+Percentiles are nearest-rank (exact observed samples, index clamped),
+so they stay meaningful on tiny runs; ``n`` states the population size
+behind them.
 
 ``--json PATH`` additionally writes the full report — including the
 per-session latency list, i.e. the raw histogram — for the nightly CI
@@ -83,7 +87,10 @@ def main() -> int:
         f"elapsed      {report.elapsed_s:.2f} s   "
         f"({report.sessions_per_sec:.1f} sessions/s)"
     )
-    print(f"latency      p50 {report.p50_ms:.1f} ms   p99 {report.p99_ms:.1f} ms")
+    print(
+        f"latency      p50 {report.p50_ms:.1f} ms   "
+        f"p99 {report.p99_ms:.1f} ms   (n={report.n_samples})"
+    )
     if report.failure_types:
         print(f"failures     {report.failure_types}")
 

@@ -24,6 +24,8 @@ from repro.analysis.experiments import (
 from repro.analysis.stats import (
     ReliabilityAccumulator,
     ReliabilitySummary,
+    SecrecyAccumulator,
+    SecrecySummary,
     StreamingMoments,
     ValueCountAccumulator,
     summarize_reliability,
@@ -32,6 +34,7 @@ from repro.analysis.report import (
     render_figure1_table,
     render_figure2_table,
     render_headline_table,
+    render_secrecy_table,
 )
 
 __all__ = [
@@ -51,7 +54,10 @@ __all__ = [
     "StreamingMoments",
     "ValueCountAccumulator",
     "ReliabilityAccumulator",
+    "SecrecyAccumulator",
+    "SecrecySummary",
     "render_figure1_table",
     "render_figure2_table",
+    "render_secrecy_table",
     "render_headline_table",
 ]

@@ -105,7 +105,16 @@ class CampaignConfig:
 
 @dataclass(frozen=True)
 class ExperimentRecord:
-    """One experiment's outcome, with enough detail for every figure."""
+    """One experiment's outcome, with enough detail for every figure.
+
+    ``min_entropy_bits`` is the measured residual min-entropy of the
+    experiment's secret pool given everything Eve observed, and
+    ``leaked_bits`` its complement (``secret_bits - min_entropy_bits``)
+    — the measured-secrecy contract.  Records stored before these
+    fields existed reconstruct them from the reliability aggregate
+    (``reliability * secret_bits``), which is the same quantity up to
+    the rounding of the stored quotient.
+    """
 
     n_terminals: int
     placement: Placement
@@ -113,6 +122,23 @@ class ExperimentRecord:
     reliability: float
     secret_bits: int
     transmitted_bits: int
+    min_entropy_bits: Optional[float] = None
+    leaked_bits: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_entropy_bits is None:
+            hidden = (
+                0.0
+                if self.secret_bits <= 0 or math.isnan(self.reliability)
+                else self.reliability * self.secret_bits
+            )
+            object.__setattr__(self, "min_entropy_bits", hidden)
+        if self.leaked_bits is None:
+            object.__setattr__(
+                self,
+                "leaked_bits",
+                max(float(self.secret_bits) - self.min_entropy_bits, 0.0),
+            )
 
     @property
     def secret_kbps_at_1mbps(self) -> float:
@@ -143,6 +169,17 @@ class CampaignResult:
 
     def efficiencies(self, n: int) -> list:
         return [r.efficiency for r in self.for_n(n)]
+
+    def secrecy_summary(self, n: int):
+        """Measured-secrecy aggregate for one group size (the secrecy
+        curve beside Figure 2); zero-secret experiments count as
+        excluded, like the NaN-reliability convention."""
+        from repro.analysis.stats import SecrecyAccumulator
+
+        acc = SecrecyAccumulator()
+        for record in self.for_n(n):
+            acc.add_record(record)
+        return acc.summary(n)
 
     def group_sizes(self) -> list:
         return sorted({r.n_terminals for r in self.records})
@@ -186,6 +223,10 @@ def run_placement_experiment(
     reliability = (
         float("nan") if result.secret_bits <= 0 else result.reliability
     )
+    # Measured secrecy, taken from the per-round oracle reports rather
+    # than back-computed from the reliability quotient: exact dims.
+    hidden_dims = sum(r.leakage.hidden_dims for r in result.rounds)
+    min_entropy_bits = float(hidden_dims * config.session.payload_bytes * 8)
     return ExperimentRecord(
         n_terminals=placement.n_terminals,
         placement=placement,
@@ -193,6 +234,8 @@ def run_placement_experiment(
         reliability=reliability,
         secret_bits=result.secret_bits,
         transmitted_bits=result.metrics.transmitted_bits,
+        min_entropy_bits=min_entropy_bits,
+        leaked_bits=max(float(result.secret_bits) - min_entropy_bits, 0.0),
     )
 
 
@@ -282,9 +325,7 @@ def run_placement_experiment_batched(
         )
         batch = BatchedRoundEngine(scenario, rng=rng).run()
         total_secret += float(batch.secret_packets.sum())
-        total_hidden += float(
-            (batch.reliability * batch.secret_packets).sum()
-        )
+        total_hidden += float(batch.hidden_dims.sum())
         total_secret_bits += batch.secret_bits
         total_transmitted += float(
             (session.n_x_packets + batch.public_packets).sum()
@@ -294,6 +335,7 @@ def run_placement_experiment_batched(
     )
     transmitted_bits = int(total_transmitted * session.payload_bytes * 8)
     eff = 0.0 if transmitted_bits == 0 else total_secret_bits / transmitted_bits
+    min_entropy_bits = total_hidden * session.payload_bytes * 8
     return ExperimentRecord(
         n_terminals=placement.n_terminals,
         placement=placement,
@@ -301,6 +343,8 @@ def run_placement_experiment_batched(
         reliability=reliability,
         secret_bits=total_secret_bits,
         transmitted_bits=transmitted_bits,
+        min_entropy_bits=min_entropy_bits,
+        leaked_bits=max(float(total_secret_bits) - min_entropy_bits, 0.0),
     )
 
 

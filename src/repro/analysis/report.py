@@ -10,11 +10,12 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-from repro.analysis.stats import ReliabilitySummary
+from repro.analysis.stats import ReliabilitySummary, SecrecySummary
 
 __all__ = [
     "render_figure1_table",
     "render_figure2_table",
+    "render_secrecy_table",
     "render_headline_table",
 ]
 
@@ -62,6 +63,31 @@ def render_figure2_table(summaries: Sequence[ReliabilitySummary]) -> str:
         lines.append(
             f"{s.n_terminals:>3d} {s.n_experiments:>5d} "
             f"{s.minimum:>6.2f} {s.p95:>6.2f} {s.mean:>6.2f} {s.median:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_secrecy_table(summaries: Sequence[SecrecySummary]) -> str:
+    """Measured secrecy beside Figure 2: residual min-entropy vs n.
+
+    Totals are measured bits across the group size's experiments;
+    the residual columns are per-experiment ``min_entropy / secret``
+    fractions under the same rank convention as the reliability series
+    (min, worst of the best 95%, mean, median).
+    """
+    lines = [
+        "Measured secrecy — residual min-entropy vs number of terminals",
+        f"{'n':>3s} {'exps':>5s} {'excl':>5s} {'secret_kb':>10s} "
+        f"{'minH_kb':>10s} {'leak_kb':>8s} "
+        f"{'min':>6s} {'p95':>6s} {'mean':>6s} {'median':>6s}",
+    ]
+    for s in sorted(summaries, key=lambda x: x.n_terminals):
+        lines.append(
+            f"{s.n_terminals:>3d} {s.n_experiments:>5d} {s.n_excluded:>5d} "
+            f"{s.secret_bits / 1e3:>10.2f} {s.min_entropy_bits / 1e3:>10.2f} "
+            f"{s.leaked_bits / 1e3:>8.2f} "
+            f"{s.min_residual:>6.2f} {s.p95_residual:>6.2f} "
+            f"{s.mean_residual:>6.2f} {s.median_residual:>6.2f}"
         )
     return "\n".join(lines)
 

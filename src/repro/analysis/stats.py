@@ -35,7 +35,23 @@ __all__ = [
     "StreamingMoments",
     "ValueCountAccumulator",
     "ReliabilityAccumulator",
+    "SecrecySummary",
+    "SecrecyAccumulator",
 ]
+
+
+def _best_fraction_rank(fraction: float, n: int) -> int:
+    """How many best-ranked observations the best ``fraction`` of ``n``
+    keeps: ``ceil(fraction * n)`` in intended (decimal) arithmetic.
+
+    The product is guarded against binary double-rounding before the
+    ceil: ``0.95 * 20`` evaluates to ``19.000000000000004`` in float64,
+    and a bare ``ceil`` would keep 20 observations — reporting the
+    global minimum for the p95 series, an off-by-one at exactly the
+    ranks Figure 2 plots.  Clamping to ``[1, n]`` keeps ``fraction=1.0``
+    and single-sample populations in range.
+    """
+    return max(1, min(n, math.ceil(fraction * n - 1e-9)))
 
 
 def best_fraction_minimum(values: Sequence[float], fraction: float) -> float:
@@ -44,14 +60,23 @@ def best_fraction_minimum(values: Sequence[float], fraction: float) -> float:
     "Minimum reliability achieved during 95% of the experiments" keeps
     the best 95% of runs and reports their worst member — the
     ``(1 - fraction)``-quantile by rank, discarding the bottom tail.
+
+    NaN sentinels (zero-secret experiments, the campaign-record
+    convention) are excluded before ranking — they would otherwise
+    poison the sort order — and a population that is *all* sentinels
+    returns NaN rather than raising, matching
+    :meth:`ReliabilityAccumulator.summary`.
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must be in (0, 1]")
-    vals = sorted(values, reverse=True)
+    vals = sorted(
+        (v for v in map(float, values) if not math.isnan(v)), reverse=True
+    )
     if not vals:
+        if len(values) > 0:
+            return math.nan
         raise ValueError("no values to summarise")
-    keep = max(1, int(np.ceil(fraction * len(vals))))
-    return vals[keep - 1]
+    return vals[_best_fraction_rank(fraction, len(vals)) - 1]
 
 
 @dataclass(frozen=True)
@@ -211,15 +236,19 @@ class ValueCountAccumulator:
         return max(self.counts)
 
     @property
-    def mean(self) -> float:
-        """Exact mean via compensated summation in sorted-value order
+    def sum(self) -> float:
+        """Exact total via compensated summation in sorted-value order
         (deterministic whatever the insertion/merge order)."""
-        if not self.counts:
-            raise ValueError("no values accumulated")
-        total = self.total
         return math.fsum(
             value * count for value, count in sorted(self.counts.items())
-        ) / total
+        )
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (see :attr:`sum` for the determinism contract)."""
+        if not self.counts:
+            raise ValueError("no values accumulated")
+        return self.sum / self.total
 
     def best_fraction_minimum(self, fraction: float) -> float:
         """Weighted-rank twin of :func:`best_fraction_minimum`: minimum
@@ -229,7 +258,7 @@ class ValueCountAccumulator:
         total = self.total
         if total == 0:
             raise ValueError("no values to summarise")
-        keep = max(1, int(np.ceil(fraction * total)))
+        keep = _best_fraction_rank(fraction, total)
         seen = 0
         for value, count in sorted(self.counts.items(), reverse=True):
             seen += count
@@ -280,8 +309,24 @@ class ReliabilityAccumulator:
         return bool(self.values)
 
     def summary(self, n_terminals: int) -> ReliabilitySummary:
-        """The four Figure-2 series, computed from the multiset."""
+        """The four Figure-2 series, computed from the multiset.
+
+        A population that is 100% NaN-sentinel (every experiment
+        produced zero secret) has no reliability to rank: the summary
+        is a NaN row with ``n_experiments=0`` — not a division error —
+        and merging such an accumulator into a populated one only adds
+        to :attr:`n_excluded`, leaving the populated statistics alone.
+        """
         if not self.values:
+            if self.n_excluded > 0:
+                return ReliabilitySummary(
+                    n_terminals=n_terminals,
+                    n_experiments=0,
+                    minimum=math.nan,
+                    mean=math.nan,
+                    p95=math.nan,
+                    median=math.nan,
+                )
             raise ValueError("need at least one experiment")
         return ReliabilitySummary(
             n_terminals=n_terminals,
@@ -290,4 +335,130 @@ class ReliabilityAccumulator:
             mean=self.values.mean,
             p95=self.values.best_fraction_minimum(0.95),
             median=self.values.best_fraction_minimum(0.50),
+        )
+
+
+@dataclass(frozen=True)
+class SecrecySummary:
+    """Measured-secrecy series for one group size (beside Figure 2).
+
+    Totals are measured bits (Eve's knowledge subtracted), fractions
+    are per-experiment residuals ``min_entropy_bits / secret_bits`` —
+    so ``min_residual`` is the worst experiment's surviving fraction
+    and ``p95_residual`` the worst among the best 95%, the same rank
+    convention as the reliability series.
+    """
+
+    n_terminals: int
+    n_experiments: int
+    n_excluded: int
+    secret_bits: float
+    min_entropy_bits: float
+    leaked_bits: float
+    min_residual: float
+    mean_residual: float
+    p95_residual: float
+    median_residual: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.n_terminals,
+            self.n_experiments,
+            self.n_excluded,
+            self.secret_bits,
+            self.min_entropy_bits,
+            self.leaked_bits,
+            self.min_residual,
+            self.p95_residual,
+            self.mean_residual,
+            self.median_residual,
+        )
+
+
+class SecrecyAccumulator:
+    """Streaming, merge-able leakage/min-entropy aggregate.
+
+    The measured-secrecy twin of :class:`ReliabilityAccumulator`: one
+    :meth:`add` per experiment record (its measured ``secret_bits`` and
+    ``min_entropy_bits``), exact multisets underneath, so aggregates
+    are bit-identical across serial, sharded, and resumed campaigns.
+    Zero-secret experiments have nothing to protect and are excluded
+    from the residual-fraction population (counted in
+    :attr:`n_excluded`), mirroring the NaN-reliability convention.
+    """
+
+    __slots__ = ("residuals", "secret_bits", "entropy_bits", "n_excluded")
+
+    def __init__(self) -> None:
+        self.residuals = ValueCountAccumulator()
+        self.secret_bits = ValueCountAccumulator()
+        self.entropy_bits = ValueCountAccumulator()
+        self.n_excluded = 0
+
+    def add(self, secret_bits: float, min_entropy_bits: float) -> None:
+        secret = float(secret_bits)
+        entropy = float(min_entropy_bits)
+        if secret <= 0.0 or math.isnan(entropy):
+            self.n_excluded += 1
+            return
+        if entropy < 0.0 or entropy > secret:
+            raise ValueError(
+                "min-entropy must lie in [0, secret_bits] "
+                f"(got {entropy} of {secret})"
+            )
+        self.residuals.add(entropy / secret)
+        self.secret_bits.add(secret)
+        self.entropy_bits.add(entropy)
+
+    def add_record(self, record) -> None:
+        """Accumulate an :class:`~repro.analysis.experiments.ExperimentRecord`
+        (or anything with ``secret_bits`` / ``min_entropy_bits``)."""
+        self.add(record.secret_bits, record.min_entropy_bits)
+
+    def merge(self, other: "SecrecyAccumulator") -> None:
+        self.residuals.merge(other.residuals)
+        self.secret_bits.merge(other.secret_bits)
+        self.entropy_bits.merge(other.entropy_bits)
+        self.n_excluded += other.n_excluded
+
+    @property
+    def n_experiments(self) -> int:
+        return self.residuals.total
+
+    def __bool__(self) -> bool:
+        return bool(self.residuals) or self.n_excluded > 0
+
+    def summary(self, n_terminals: int) -> SecrecySummary:
+        """Collapse into the secrecy series; NaN row when every
+        experiment was excluded (nothing agreed, nothing leaked)."""
+        if not self.residuals:
+            if self.n_excluded == 0:
+                raise ValueError("need at least one experiment")
+            return SecrecySummary(
+                n_terminals=n_terminals,
+                n_experiments=0,
+                n_excluded=self.n_excluded,
+                secret_bits=0.0,
+                min_entropy_bits=0.0,
+                leaked_bits=0.0,
+                min_residual=math.nan,
+                mean_residual=math.nan,
+                p95_residual=math.nan,
+                median_residual=math.nan,
+            )
+        total_secret = self.secret_bits.sum
+        total_entropy = self.entropy_bits.sum
+        return SecrecySummary(
+            n_terminals=n_terminals,
+            n_experiments=self.residuals.total,
+            n_excluded=self.n_excluded,
+            secret_bits=total_secret,
+            min_entropy_bits=total_entropy,
+            leaked_bits=max(total_secret - total_entropy, 0.0),
+            min_residual=self.residuals.minimum,
+            mean_residual=(
+                total_entropy / total_secret if total_secret > 0 else math.nan
+            ),
+            p95_residual=self.residuals.best_fraction_minimum(0.95),
+            median_residual=self.residuals.best_fraction_minimum(0.50),
         )

@@ -73,7 +73,11 @@ def _campaign(args, group_sizes):
 
 
 def _figure2(args) -> int:
-    from repro.analysis import render_figure2_table, summarize_reliability
+    from repro.analysis import (
+        render_figure2_table,
+        render_secrecy_table,
+        summarize_reliability,
+    )
 
     result = _campaign(args, tuple(range(3, 9)))
     summaries = [
@@ -81,6 +85,12 @@ def _figure2(args) -> int:
         for n in result.group_sizes()
     ]
     print(render_figure2_table(summaries))
+    print()
+    print(
+        render_secrecy_table(
+            [result.secrecy_summary(n) for n in result.group_sizes()]
+        )
+    )
     return 0
 
 

@@ -19,7 +19,11 @@ Layering (each module imports only downward):
 """
 
 from repro.service.config import ServiceConfig
-from repro.service.derive import DerivedKeys, derive_session_keys
+from repro.service.derive import (
+    DerivedKeys,
+    LeakageBudget,
+    derive_session_keys,
+)
 from repro.service.engine import (
     FollowerEngine,
     LeaderEngine,
@@ -32,6 +36,7 @@ from repro.service.errors import (
     ConfigMismatchError,
     ConfirmationError,
     HandshakeError,
+    InsufficientEntropyError,
     NoSecretError,
     PoolExhaustedError,
     ProtocolViolation,
@@ -55,6 +60,7 @@ from repro.service.peer import (
 from repro.service.reference import (
     TraceLossModel,
     build_reference_session,
+    reference_budget,
     reference_keys,
     reference_secret,
 )
@@ -70,6 +76,7 @@ __all__ = [
     "ServiceConfig",
     "DerivedKeys",
     "derive_session_keys",
+    "LeakageBudget",
     "FollowerEngine",
     "LeaderEngine",
     "SessionPhase",
@@ -81,6 +88,7 @@ __all__ = [
     "PoolExhaustedError",
     "ProtocolViolation",
     "NoSecretError",
+    "InsufficientEntropyError",
     "ConfirmationError",
     "SessionAborted",
     "SessionTimeout",
@@ -98,6 +106,7 @@ __all__ = [
     "TraceLossModel",
     "build_reference_session",
     "reference_secret",
+    "reference_budget",
     "reference_keys",
     "run_leader",
     "run_follower",

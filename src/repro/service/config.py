@@ -61,8 +61,13 @@ class ServiceConfig:
             interference guarantee) or ``"oracle"`` (testing: ground
             truth from the eve trace).
         estimator_fraction: the fraction for ``"fraction"`` mode.
-        key_bytes: length of the derived symmetric key material — the
-            service's stated output contract.
+        key_bytes: *ceiling* on the derived symmetric key material —
+            the measured secrecy budget may size the output below it
+            (see :class:`repro.service.derive.LeakageBudget`).
+        secrecy_margin_bits: safety haircut subtracted from the
+            measured residual min-entropy before sizing key material;
+            wire-relevant (both peers must size identically), so it is
+            folded into :meth:`digest`.
         bootstrap: master bootstrap secret shared by the group.
         pool_bytes_per_peer: per-(leader, follower) one-time-MAC pool
             size expanded from the bootstrap.
@@ -84,6 +89,7 @@ class ServiceConfig:
     estimator_kind: str = "fraction"
     estimator_fraction: float = 0.25
     key_bytes: int = 64
+    secrecy_margin_bits: int = 0
     bootstrap: bytes = _DEMO_BOOTSTRAP
     pool_bytes_per_peer: int = 4096
     payload_seed: int = 7
@@ -104,6 +110,8 @@ class ServiceConfig:
             raise ValueError("loss probabilities must be in [0, 1]")
         if self.key_bytes < 16:
             raise ValueError("derived key material must be at least 16 bytes")
+        if self.secrecy_margin_bits < 0:
+            raise ValueError("secrecy margin must be non-negative")
         if len(self.bootstrap) < 16:
             raise ValueError("bootstrap secret must be at least 16 bytes")
 
@@ -126,6 +134,7 @@ class ServiceConfig:
                 "max_subset": self.max_subset_size,
                 "estimator": [self.estimator_kind, self.estimator_fraction],
                 "key_bytes": self.key_bytes,
+                "secrecy_margin": self.secrecy_margin_bits,
                 "payload_seed": self.payload_seed,
                 "loss_seed": self.loss_seed,
                 "loss_prob": self.loss_prob,

@@ -22,6 +22,14 @@ the label names the direction (``confirm|<role>|<name>``), so a
 follower cannot replay the leader's tag back at it.  An empty secret
 derives nothing: :class:`~repro.service.errors.NoSecretError` enforces
 the fail-closed contract at the derivation boundary itself.
+
+Privacy amplification sizing (leftover-hash style): when the caller
+hands over a measured :class:`LeakageBudget`, the expand step emits at
+most ``extractable_bytes`` — the session's residual min-entropy after
+Eve's measured observations and the configured safety margin — and a
+session whose budget cannot support even :data:`MIN_KEY_BYTES` aborts
+with a typed :class:`~repro.service.errors.InsufficientEntropyError`
+instead of stretching thin entropy into a full-length key.
 """
 
 from __future__ import annotations
@@ -29,19 +37,70 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from repro.service.errors import NoSecretError
+from repro.service.errors import InsufficientEntropyError, NoSecretError
 
 __all__ = [
     "hkdf_extract",
     "hkdf_expand",
     "DerivedKeys",
+    "LeakageBudget",
     "derive_session_keys",
+    "MIN_KEY_BYTES",
 ]
 
 _HASH_LEN = hashlib.sha256().digest_size
+
+#: Smallest key material the service will ever emit (mirrors the
+#: ``ServiceConfig.key_bytes`` floor): a budget that cannot cover this
+#: aborts the session rather than shipping a weak key.
+MIN_KEY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class LeakageBudget:
+    """Measured secrecy budget of one session, in bits.
+
+    Built from the engines' per-round :func:`repro.core.eve.round_leakage`
+    accounting: ``secret_bits`` is everything the rounds agreed,
+    ``leaked_bits`` the dimensions Eve's observed equations span, and
+    ``safety_margin_bits`` the deployment's stated haircut for model
+    error (estimator optimism, extractor loss).
+
+    Attributes:
+        secret_bits: total agreed secret size across rounds.
+        leaked_bits: bits of it Eve's observations determine.
+        safety_margin_bits: extra bits withheld on top of the
+            measurement before sizing key material.
+    """
+
+    secret_bits: int
+    leaked_bits: int
+    safety_margin_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.secret_bits < 0 or self.leaked_bits < 0:
+            raise ValueError("budget bit counts must be non-negative")
+        if self.safety_margin_bits < 0:
+            raise ValueError("safety margin must be non-negative")
+        if self.leaked_bits > self.secret_bits:
+            raise ValueError(
+                f"leaked_bits ({self.leaked_bits}) cannot exceed "
+                f"secret_bits ({self.secret_bits})"
+            )
+
+    @property
+    def min_entropy_bits(self) -> int:
+        """Residual min-entropy Eve's measured view leaves intact."""
+        return self.secret_bits - self.leaked_bits
+
+    @property
+    def extractable_bytes(self) -> int:
+        """Whole bytes of key material the budget supports."""
+        return max(self.min_entropy_bits - self.safety_margin_bits, 0) // 8
 
 
 def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
@@ -96,17 +155,36 @@ def derive_session_keys(
     config_digest: bytes,
     leader: str,
     key_bytes: int,
+    budget: Optional[LeakageBudget] = None,
 ) -> DerivedKeys:
     """Turn the agreed secret packets into usable symmetric keys.
+
+    Args:
+        budget: the session's measured secrecy budget.  When given, the
+            emitted material is ``min(key_bytes, budget.extractable_bytes)``
+            — privacy amplification sized by measurement, not by hope.
+            When None the caller takes responsibility for sizing
+            (legacy contract: emit exactly ``key_bytes``).
 
     Raises:
         NoSecretError: when the secret is empty — a session that agreed
             nothing must fail closed, not emit keys derived from an
             empty string.
+        InsufficientEntropyError: when the measured budget cannot cover
+            :data:`MIN_KEY_BYTES` of output.
     """
     arr = np.asarray(secret, dtype=np.uint8)
     if arr.size == 0:
         raise NoSecretError("the rounds produced an empty secret")
+    if budget is not None:
+        key_bytes = min(key_bytes, budget.extractable_bytes)
+        if key_bytes < MIN_KEY_BYTES:
+            raise InsufficientEntropyError(
+                f"measured budget supports {budget.extractable_bytes} key "
+                f"bytes ({budget.min_entropy_bits} residual min-entropy "
+                f"bits, margin {budget.safety_margin_bits}); "
+                f"need at least {MIN_KEY_BYTES}"
+            )
     h = hashlib.sha256()
     h.update(b"thin-air/service/v1|")
     h.update(session_id)

@@ -62,11 +62,12 @@ from repro.coding.reconcile import (
     recover_missing_y,
 )
 from repro.core.estimator import RoundContext
+from repro.core.eve import LeakageReport, round_leakage
 from repro.core.messages import ReceptionReport
 from repro.gf.linalg import GFMatrix
 from repro.gf.matrices import cauchy_matrix
 from repro.service.config import FOLLOWER_ROLE, LEADER_ROLE, ServiceConfig
-from repro.service.derive import DerivedKeys, derive_session_keys
+from repro.service.derive import DerivedKeys, LeakageBudget, derive_session_keys
 from repro.service.errors import (
     AbortCode,
     AuthenticationError,
@@ -143,6 +144,10 @@ class SessionSnapshot:
     frames_out: int
     secret_rows: int
     established: bool
+    secret_bits: int = 0
+    leaked_bits: int = 0
+    min_entropy_bits: int = 0
+    key_bytes: int = 0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -157,6 +162,10 @@ class SessionSnapshot:
             "frames_out": self.frames_out,
             "secret_rows": self.secret_rows,
             "established": self.established,
+            "secret_bits": self.secret_bits,
+            "leaked_bits": self.leaked_bits,
+            "min_entropy_bits": self.min_entropy_bits,
+            "key_bytes": self.key_bytes,
         }
 
 
@@ -293,12 +302,16 @@ def _parse_abort(frame: Frame) -> SessionAborted:
 class _EngineBase:
     """State shared by both engines: counters, fail-closed plumbing."""
 
+    #: Set by subclasses before any round completes.
+    config: ServiceConfig
+
     def __init__(self) -> None:
         self.phase = SessionPhase.FAILED  # subclasses set their start phase
         self.frames_in = 0
         self.frames_out = 0
         self._keys: Optional[DerivedKeys] = None
         self._secrets: List[np.ndarray] = []
+        self._leakage: List[LeakageReport] = []
 
     @property
     def established(self) -> bool:
@@ -318,6 +331,35 @@ class _EngineBase:
     @property
     def secret_rows(self) -> int:
         return sum(int(np.asarray(s).shape[0]) for s in self._secrets)
+
+    def leakage_budget(self) -> LeakageBudget:
+        """The session's measured secrecy budget so far.
+
+        Per-round :func:`repro.core.eve.round_leakage` accounting summed
+        into bits: in oracle mode against Eve's actual capture trace, in
+        fraction mode against an Eve who captured no x-packets but sees
+        every public z-broadcast (``eve_received = {}``) — the
+        structural leakage of the published combinations, matching the
+        reference :class:`~repro.core.session.ProtocolSession` without
+        an Eve node.  The safety margin is the deployment's stated cover
+        for the fraction estimator's channel-capture assumption.
+        """
+        payload_bits = self.config.payload_bytes * 8
+        return LeakageBudget(
+            secret_bits=sum(r.secret_dims for r in self._leakage) * payload_bits,
+            leaked_bits=sum(r.leaked_dims for r in self._leakage) * payload_bits,
+            safety_margin_bits=self.config.secrecy_margin_bits,
+        )
+
+    def _secrecy_fields(self) -> Dict[str, int]:
+        """Snapshot fields derived from the leakage accounting."""
+        budget = self.leakage_budget()
+        return {
+            "secret_bits": budget.secret_bits,
+            "leaked_bits": budget.leaked_bits,
+            "min_entropy_bits": budget.min_entropy_bits,
+            "key_bytes": len(self._keys.material) if self._keys else 0,
+        }
 
     def _fail(self, exc: ServiceError) -> ServiceError:
         """Enter FAILED: clear all key material, return ``exc`` to raise."""
@@ -349,6 +391,12 @@ class FollowerEngine(_EngineBase):
         self.leader = leader
         self.auth = AuthenticatedChannel.from_bootstrap(config.pair_pool(leader, name))
         self.trace = config.erasure_trace(name)
+        # Eve's trace is a pure function of the shared config, so the
+        # follower accounts the *same* leakage the leader does without
+        # any extra wire traffic.
+        self._eve_trace = (
+            config.eve_trace() if config.estimator_kind == "oracle" else None
+        )
         self.session_id = b"\x00" * 16  # assigned by the leader's HELLO
         self.phase = SessionPhase.AWAIT_HELLO
         self.round_id = 0
@@ -371,6 +419,7 @@ class FollowerEngine(_EngineBase):
             frames_out=self.frames_out,
             secret_rows=self.secret_rows,
             established=self.established,
+            **self._secrecy_fields(),
         )
 
     def start(self) -> List[Frame]:
@@ -544,6 +593,23 @@ class FollowerEngine(_EngineBase):
             self._secrets.append(assemble_secret(self._plan, full))
         except KeyError as exc:
             raise ProtocolViolation(f"s-map references unknown y-row: {exc}") from None
+        eve_received = (
+            frozenset(
+                i
+                for i in range(self.config.n_x_packets)
+                if not self._eve_trace[self.round_id, i]
+            )
+            if self._eve_trace is not None
+            else frozenset()
+        )
+        self._leakage.append(
+            round_leakage(
+                self._allocation,
+                self._plan,
+                eve_received,
+                list(range(self.config.n_x_packets)),
+            )
+        )
         self.round_id += 1
         self._received = {}
         self._allocation = None
@@ -559,6 +625,7 @@ class FollowerEngine(_EngineBase):
             config_digest=self.config.digest(),
             leader=self.leader,
             key_bytes=self.config.key_bytes,
+            budget=self.leakage_budget(),
         )
         self.phase = SessionPhase.AWAIT_ACK
         tag = self._keys.confirm_tag("follower", self.name)
@@ -641,6 +708,7 @@ class LeaderEngine(_EngineBase):
             frames_out=self.frames_out,
             secret_rows=self.secret_rows,
             established=self.established,
+            **self._secrecy_fields(),
         )
 
     @property
@@ -811,6 +879,11 @@ class LeaderEngine(_EngineBase):
                 plan, {g: y_values[g] for g in range(allocation.total_rows)}
             )
         )
+        self._leakage.append(
+            round_leakage(
+                allocation, plan, eve_received, list(range(cfg.n_x_packets))
+            )
+        )
         self.round_id += 1
         if self.round_id < cfg.n_rounds:
             out.extend(self._begin_round())
@@ -821,6 +894,7 @@ class LeaderEngine(_EngineBase):
             config_digest=self.config.digest(),
             leader=self.name,
             key_bytes=cfg.key_bytes,
+            budget=self.leakage_budget(),
         )
         self._confirmed = set()
         self.phase = SessionPhase.AWAIT_CONFIRMS

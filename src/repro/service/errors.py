@@ -20,6 +20,7 @@ __all__ = [
     "PoolExhaustedError",
     "ProtocolViolation",
     "NoSecretError",
+    "InsufficientEntropyError",
     "ConfirmationError",
     "SessionAborted",
     "SessionTimeout",
@@ -67,6 +68,17 @@ class NoSecretError(ServiceError):
     """The rounds produced an empty secret; nothing to derive keys from."""
 
 
+class InsufficientEntropyError(ServiceError):
+    """The measured secrecy budget cannot support a usable key.
+
+    Raised by the derivation boundary when the session's residual
+    min-entropy — secret bits minus Eve's measured leakage minus the
+    configured safety margin — falls below the minimum key length.
+    Fail-closed twin of :class:`NoSecretError` for sessions that agreed
+    *something*, but not enough of it secretly.
+    """
+
+
 class ConfirmationError(ServiceError):
     """Key confirmation failed: the peers derived different keys."""
 
@@ -99,6 +111,7 @@ class AbortCode(IntEnum):
     NO_SECRET = 5
     CONFIRM_FAILED = 6
     TIMEOUT = 7
+    LOW_ENTROPY = 8
 
 
 #: Exception class -> wire code, used by drivers when notifying the peer.
@@ -108,6 +121,7 @@ ABORT_CODE_OF = {
     PoolExhaustedError: AbortCode.POOL_EXHAUSTED,
     ProtocolViolation: AbortCode.PROTOCOL,
     NoSecretError: AbortCode.NO_SECRET,
+    InsufficientEntropyError: AbortCode.LOW_ENTROPY,
     ConfirmationError: AbortCode.CONFIRM_FAILED,
     SessionTimeout: AbortCode.TIMEOUT,
 }

@@ -25,10 +25,9 @@ Entry points:
 from __future__ import annotations
 
 import asyncio
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
-
-import numpy as np
 
 from repro.service.config import ServiceConfig
 from repro.service.derive import DerivedKeys
@@ -419,9 +418,30 @@ async def connect_follower_tcp(
 # ---------------------------------------------------------------------------
 
 
+def nearest_rank_ms(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sample list.
+
+    An exact order statistic with the index clamped into ``[0, n-1]``:
+    well defined for any ``n >= 1`` and any ``q`` in ``[0, 100]``.
+    Interpolating percentiles (``np.percentile`` default) invent values
+    between the two largest samples on small runs — a "p99" latency no
+    session actually exhibited, which then jitters the bench trend gate.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    idx = min(n - 1, max(0, math.ceil(q / 100.0 * n) - 1))
+    return float(sorted_values[idx])
+
+
 @dataclass
 class LoadReport:
-    """Throughput/latency summary of a concurrent-session load run."""
+    """Throughput/latency summary of a concurrent-session load run.
+
+    ``n_samples`` is the size of the latency population behind the
+    percentiles (established sessions only) — always reported, so a
+    reader can tell a p99 over 1000 samples from one over 3.
+    """
 
     sessions: int
     established: int
@@ -430,6 +450,7 @@ class LoadReport:
     sessions_per_sec: float
     p50_ms: float
     p99_ms: float
+    n_samples: int = 0
     failure_types: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -442,6 +463,7 @@ class LoadReport:
             "sessions_per_sec": self.sessions_per_sec,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
+            "n_samples": self.n_samples,
             "failure_types": dict(self.failure_types),
         }
 
@@ -494,8 +516,9 @@ async def run_load(
         failed=n_sessions - established,
         elapsed_s=elapsed,
         sessions_per_sec=established / elapsed if elapsed > 0 else 0.0,
-        p50_ms=float(np.percentile(latencies, 50)) if latencies else 0.0,
-        p99_ms=float(np.percentile(latencies, 99)) if latencies else 0.0,
+        p50_ms=nearest_rank_ms(latencies, 50),
+        p99_ms=nearest_rank_ms(latencies, 99),
+        n_samples=len(latencies),
         failure_types=failure_types,
         latencies_ms=list(latencies),
     )

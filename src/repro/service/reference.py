@@ -28,18 +28,19 @@ from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
-from repro.core.session import ProtocolSession, SessionConfig
+from repro.core.session import ProtocolSession, RoundResult, SessionConfig
 from repro.net.medium import BroadcastMedium, LossModel
 from repro.net.node import Eavesdropper, Node, Terminal
 from repro.net.packet import Packet, PacketKind
 from repro.service.config import ServiceConfig
-from repro.service.derive import DerivedKeys, derive_session_keys
+from repro.service.derive import DerivedKeys, LeakageBudget, derive_session_keys
 from repro.service.engine import stack_secrets
 
 __all__ = [
     "TraceLossModel",
     "build_reference_session",
     "reference_secret",
+    "reference_budget",
     "reference_keys",
 ]
 
@@ -118,17 +119,43 @@ def build_reference_session(
     )
 
 
+def _reference_rounds(
+    config: ServiceConfig, leader: str, followers: Tuple[str, ...]
+) -> List[RoundResult]:
+    session = build_reference_session(config, leader, followers)
+    return [
+        session.run_round(leader, round_id)
+        for round_id in range(config.n_rounds)
+    ]
+
+
+def _budget_of(config: ServiceConfig, rounds: List[RoundResult]) -> LeakageBudget:
+    payload_bits = config.payload_bytes * 8
+    return LeakageBudget(
+        secret_bits=sum(r.leakage.secret_dims for r in rounds) * payload_bits,
+        leaked_bits=sum(r.leakage.leaked_dims for r in rounds) * payload_bits,
+        safety_margin_bits=config.secrecy_margin_bits,
+    )
+
+
 def reference_secret(
     config: ServiceConfig, leader: str, followers: Tuple[str, ...]
 ) -> np.ndarray:
     """The stacked multi-round secret the simulator derives on the
     config's traces — what every live peer must reproduce exactly."""
-    session = build_reference_session(config, leader, followers)
-    secrets = [
-        session.run_round(leader, round_id).secret
-        for round_id in range(config.n_rounds)
-    ]
-    return stack_secrets(secrets)
+    return stack_secrets(
+        [r.secret for r in _reference_rounds(config, leader, followers)]
+    )
+
+
+def reference_budget(
+    config: ServiceConfig, leader: str, followers: Tuple[str, ...]
+) -> LeakageBudget:
+    """The measured secrecy budget the simulator computes on the
+    config's traces — what every live engine's
+    :meth:`~repro.service.engine._EngineBase.leakage_budget` must
+    reproduce bit for bit."""
+    return _budget_of(config, _reference_rounds(config, leader, followers))
 
 
 def reference_keys(
@@ -137,11 +164,14 @@ def reference_keys(
     followers: Tuple[str, ...],
     nonce: int = 0,
 ) -> DerivedKeys:
-    """Reference-derived session keys (simulator secret through HKDF)."""
+    """Reference-derived session keys (simulator secret through HKDF),
+    sized by the same measured budget the live engines apply."""
+    rounds = _reference_rounds(config, leader, followers)
     return derive_session_keys(
-        reference_secret(config, leader, followers),
+        stack_secrets([r.secret for r in rounds]),
         session_id=config.session_id(leader, followers, nonce),
         config_digest=config.digest(),
         leader=leader,
         key_bytes=config.key_bytes,
+        budget=_budget_of(config, rounds),
     )

@@ -115,6 +115,20 @@ class BatchResult:
     ``secret_packets`` holds whole packets per round (the realised
     planner allocates integral rows, like the session); the float dtype
     and :attr:`secret_packets_int` survive for API compatibility.
+
+    Leakage accounting (the measured-secrecy contract, mirroring
+    :class:`repro.core.eve.LeakageReport` per round):
+
+    * ``hidden_dims`` — packets of the round's secret that stay fully
+      unknown to Eve after her sampled misses settle the rank deficit.
+    * ``eve_equations`` — linear equations Eve observed about the
+      round's x-payloads: her captured x-packets plus every public
+      z-row (broadcast reliably, the paper's conservative assumption).
+
+    Records written before these fields existed reconstruct them from
+    ``reliability * secret_packets`` (an exact inverse of the engines'
+    division whenever the quotient was exact, and within one ulp
+    otherwise) — see ``__post_init__``.
     """
 
     scenario: Scenario
@@ -126,10 +140,46 @@ class BatchResult:
     eve_missed: np.ndarray
     terminal_receptions: np.ndarray  # (B, n_receivers)
     delivery_rates: np.ndarray  # (n_receivers,)
+    hidden_dims: Optional[np.ndarray] = None
+    eve_equations: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.hidden_dims is None:
+            secret = np.asarray(self.secret_packets, dtype=np.float64)
+            rel = np.asarray(self.reliability, dtype=np.float64)
+            self.hidden_dims = np.where(secret > 0.0, rel * secret, 0.0)
+        if self.eve_equations is None:
+            captured = self.scenario.n_x_packets - np.asarray(
+                self.eve_missed, dtype=np.int64
+            )
+            self.eve_equations = captured + np.asarray(
+                self.public_packets, dtype=np.float64
+            )
 
     @property
     def rounds(self) -> int:
         return int(self.secret_packets.shape[0])
+
+    @property
+    def leaked_dims(self) -> np.ndarray:
+        """Secret packets Eve can compute per round (0 when perfect)."""
+        return np.maximum(
+            np.asarray(self.secret_packets, dtype=np.float64) - self.hidden_dims,
+            0.0,
+        )
+
+    @property
+    def min_entropy_bits(self) -> np.ndarray:
+        """Residual min-entropy of each round's secret, in bits."""
+        return self.hidden_dims * (self.scenario.payload_bytes * 8)
+
+    @property
+    def total_min_entropy_bits(self) -> float:
+        return float(self.min_entropy_bits.sum())
+
+    @property
+    def total_leaked_bits(self) -> float:
+        return float(self.leaked_dims.sum()) * self.scenario.payload_bytes * 8
 
     @property
     def secret_packets_int(self) -> np.ndarray:
@@ -608,6 +658,14 @@ class BatchedRoundEngine:
 
         efficiency = secret / (n + z_public)
 
+        # Measured secrecy: Eve's equation count (captured x-packets
+        # plus every public z-row) and the residual hidden dimensions
+        # the deficit accounting leaves her.  Same expressions as the
+        # stacked path (`repro.sim.stack._account_cell`) — bit-identity
+        # is part of the contract.
+        eve_missed_counts = batch.eve_missed_counts()
+        eve_equations = (n - eve_missed_counts) + z_public
+
         return BatchResult(
             scenario=scenario,
             secret_packets=secret,
@@ -615,9 +673,11 @@ class BatchedRoundEngine:
             total_rows=m_total,
             efficiency=efficiency,
             reliability=reliability,
-            eve_missed=batch.eve_missed_counts(),
+            eve_missed=eve_missed_counts,
             terminal_receptions=recv.sum(axis=2),
             delivery_rates=batch.delivery_rates(),
+            hidden_dims=hidden,
+            eve_equations=eve_equations,
         )
 
 

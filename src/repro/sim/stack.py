@@ -295,6 +295,12 @@ def _account_cell(
 
     efficiency = secret / (n + z_public)
 
+    # Measured secrecy, same expressions as the engine's epilogue
+    # (bit-identity contract: hidden is already shared arithmetic, and
+    # the equation count is integer-exact in float64).
+    eve_missed_counts = (~eve).sum(axis=1)
+    eve_equations = (n - eve_missed_counts) + z_public
+
     return BatchResult(
         scenario=scenario,
         secret_packets=secret,
@@ -302,9 +308,11 @@ def _account_cell(
         total_rows=m_total,
         efficiency=efficiency,
         reliability=reliability,
-        eve_missed=(~eve).sum(axis=1),
+        eve_missed=eve_missed_counts,
         terminal_receptions=recv.sum(axis=2),
         delivery_rates=recv.mean(axis=(0, 2)),
+        hidden_dims=hidden,
+        eve_equations=eve_equations,
     )
 
 

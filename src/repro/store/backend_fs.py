@@ -324,18 +324,30 @@ class FilesystemStoreBackend(StoreBackend):
     # -- records -----------------------------------------------------------
 
     def shard_path(self, key: str) -> Path:
-        """The key's shard file: the existing one, else the codec's.
+        """The key's shard file: the existing *non-empty* one, else the
+        codec's.
 
         An existing shard keeps its layout whatever codec the store was
         opened with (appends must extend what is on disk); a fresh key
         gets the store codec's extension.  ``.jsonl`` wins the
-        pathological both-exist case deterministically.
+        pathological both-non-empty case deterministically.
+
+        Only a shard that actually holds bytes is layout-sticky: a
+        zero-length file commits to no layout (no line, no frame), and
+        letting it pin one would shadow a populated sibling — an empty
+        ``key.jsonl`` left by a crashed writer would hide every record
+        in ``key.rbin`` from reads and route appends to the wrong
+        layout.  Empty debris is simply ignored; the codec's extension
+        decides, exactly as for a fresh key.
         """
         check_key(key)
         for ext in (".jsonl", BINARY_EXTENSION):
             path = self.root / f"{key}{ext}"
-            if path.exists():
-                return path
+            try:
+                if path.stat().st_size > 0:
+                    return path
+            except OSError:
+                continue
         ext = BINARY_EXTENSION if self.codec == "binary" else ".jsonl"
         return self.root / f"{key}{ext}"
 

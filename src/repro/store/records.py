@@ -155,6 +155,8 @@ def experiment_record_to_json(record: "ExperimentRecord") -> Dict[str, Any]:
         "reliability": encode_value(record.reliability),
         "secret_bits": record.secret_bits,
         "transmitted_bits": record.transmitted_bits,
+        "min_entropy_bits": encode_value(record.min_entropy_bits),
+        "leaked_bits": encode_value(record.leaked_bits),
     }
 
 
@@ -164,6 +166,13 @@ def experiment_record_from_json(data: Dict[str, Any]) -> "ExperimentRecord":
 
     if data.get("kind") != "experiment":
         raise ValueError(f"not an experiment record: {data.get('kind')!r}")
+
+    def _optional_float(name: str) -> Any:
+        # Pre-measured-secrecy records lack the leakage fields; None
+        # lets the dataclass reconstruct them from the reliability.
+        value = data.get(name)
+        return None if value is None else float(decode_value(value))
+
     return ExperimentRecord(
         n_terminals=int(data["n_terminals"]),
         placement=decode_spec(data["placement"]),
@@ -171,6 +180,8 @@ def experiment_record_from_json(data: Dict[str, Any]) -> "ExperimentRecord":
         reliability=float(decode_value(data["reliability"])),
         secret_bits=int(data["secret_bits"]),
         transmitted_bits=int(data["transmitted_bits"]),
+        min_entropy_bits=_optional_float("min_entropy_bits"),
+        leaked_bits=_optional_float("leaked_bits"),
     )
 
 
@@ -187,7 +198,16 @@ _BATCH_ARRAYS = {
     "eve_missed": np.int64,
     "terminal_receptions": np.int64,
     "delivery_rates": np.float64,
+    "hidden_dims": np.float64,
+    "eve_equations": np.float64,
 }
+
+#: Fields added after the first stored shards shipped.  Old records
+#: simply lack them; the decoder leaves them out and
+#: :class:`~repro.sim.engine.BatchResult` reconstructs each from the
+#: fields every shard has carried since v0 (backward-compatible reads,
+#: never a re-encode requirement).
+_OPTIONAL_BATCH_ARRAYS = frozenset({"hidden_dims", "eve_equations"})
 
 
 def scenario_outcome_to_json(outcome: "ScenarioOutcome") -> Dict[str, Any]:
@@ -213,6 +233,7 @@ def scenario_outcome_from_json(data: Dict[str, Any]) -> "ScenarioOutcome":
     arrays = {
         name: np.asarray(decode_value(data[name]), dtype=dtype)
         for name, dtype in _BATCH_ARRAYS.items()
+        if name in data or name not in _OPTIONAL_BATCH_ARRAYS
     }
     return ScenarioOutcome(
         scenario=scenario, result=BatchResult(scenario=scenario, **arrays)

@@ -17,8 +17,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from fractions import Fraction
+
 from repro.analysis.stats import (
     ReliabilityAccumulator,
+    SecrecyAccumulator,
     StreamingMoments,
     ValueCountAccumulator,
     best_fraction_minimum,
@@ -158,13 +161,39 @@ class TestReliabilityAccumulator:
         assert summary.minimum == reference.minimum
         assert summary.median == reference.median
 
-    def test_all_nan_population_is_empty(self):
+    def test_all_nan_population_summarises_to_nan_row(self):
+        # 100% zero-secret experiments: a measured outcome, not an
+        # error — the summary is a NaN row with every exclusion counted.
         acc = ReliabilityAccumulator()
         acc.extend([float("nan")] * 5)
         assert not acc
         assert acc.n_experiments == 0
+        assert acc.n_excluded == 5
+        summary = acc.summary(4)
+        assert summary.n_experiments == 0
+        assert math.isnan(summary.minimum)
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p95)
+        assert math.isnan(summary.median)
+
+    def test_truly_empty_population_still_raises(self):
         with pytest.raises(ValueError, match="at least one experiment"):
-            acc.summary(4)
+            ReliabilityAccumulator().summary(4)
+
+    def test_nan_row_merges_consistently(self):
+        # Merging an all-NaN shard into a populated one must leave the
+        # populated statistics untouched and only add exclusions.
+        nan_only = ReliabilityAccumulator()
+        nan_only.extend([float("nan")] * 3)
+        populated = ReliabilityAccumulator()
+        populated.extend([1.0, 0.5])
+        reference = populated.summary(6)
+        populated.merge(nan_only)
+        merged = populated.summary(6)
+        assert merged.n_experiments == reference.n_experiments
+        assert merged.minimum == reference.minimum
+        assert merged.mean == reference.mean
+        assert populated.n_excluded == 3
 
     def test_merge_accumulates_exclusions(self):
         a = ReliabilityAccumulator()
@@ -305,8 +334,10 @@ class TestCountMergeAlgebraIsExact:
         assert merged.n_excluded == len(values) - len(kept)
         assert merged.n_experiments == len(kept)
         if not kept:
-            with pytest.raises(ValueError, match="at least one experiment"):
-                merged.summary(4)
+            # 100% sentinels: a NaN row, never a division error.
+            row = merged.summary(4)
+            assert row.n_experiments == 0
+            assert math.isnan(row.minimum) and math.isnan(row.mean)
             return
         reference = summarize_reliability(4, kept)
         streamed = merged.summary(4)
@@ -315,3 +346,162 @@ class TestCountMergeAlgebraIsExact:
         assert streamed.median == reference.median
         assert streamed.n_experiments == reference.n_experiments
         assert streamed.mean == pytest.approx(reference.mean, rel=1e-12)
+
+
+# -- best_fraction_minimum vs a sorted oracle (hypothesis) -----------------
+
+def _oracle_best_fraction_minimum(values, numerator, denominator):
+    """Naive reference: exact rational rank over an explicit sort.
+
+    Keep the best ceil(fraction * n) experiments (computed in exact
+    arithmetic, never float) and return the worst of them.
+    """
+    kept = [float(v) for v in values if not math.isnan(v)]
+    if not kept:
+        return math.nan
+    n = len(kept)
+    rank = -((-Fraction(numerator, denominator) * n) // 1)  # exact ceil
+    rank = max(1, min(n, int(rank)))
+    return sorted(kept, reverse=True)[rank - 1]
+
+
+class TestBestFractionMinimumOracle:
+    """The rank arithmetic bugfix, pinned against exact rational math."""
+
+    @given(
+        values=observations_with_nan,
+        hundredths=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_exact_rational_oracle(self, values, hundredths):
+        fraction = hundredths / 100.0
+        expected = _oracle_best_fraction_minimum(values, hundredths, 100)
+        got = best_fraction_minimum(values, fraction)
+        if math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == expected
+        acc = ValueCountAccumulator()
+        acc.extend(v for v in values if not math.isnan(v))
+        if acc:
+            assert acc.best_fraction_minimum(fraction) == expected
+
+    def test_p95_of_twenty_keeps_nineteen(self):
+        """Regression: 0.95 * 20 = 19.000000000000004 in float64; a bare
+        ceil kept all twenty and returned the global minimum."""
+        values = [float(k) for k in range(1, 21)]  # 1..20, distinct
+        assert best_fraction_minimum(values, 0.95) == 2.0
+        assert best_fraction_minimum(values, 1.0) == 1.0
+
+    def test_fraction_one_is_global_minimum(self):
+        values = [0.4, 0.9, 0.1, 1.0]
+        assert best_fraction_minimum(values, 1.0) == 0.1
+
+    def test_single_sample_any_fraction(self):
+        for fraction in (0.01, 0.5, 0.95, 1.0):
+            assert best_fraction_minimum([0.7], fraction) == 0.7
+
+    def test_all_nan_returns_nan(self):
+        assert math.isnan(best_fraction_minimum([math.nan] * 5, 0.95))
+
+    def test_truly_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_fraction_minimum([], 0.95)
+
+
+class TestSecrecyAccumulator:
+    def test_totals_match_materialised(self):
+        rng = np.random.default_rng(11)
+        secrets = rng.integers(1, 50, size=60) * 800.0
+        entropies = secrets * rng.random(60)
+        acc = SecrecyAccumulator()
+        for s, h in zip(secrets, entropies):
+            acc.add(s, h)
+        row = acc.summary(5)
+        assert row.n_terminals == 5
+        assert row.n_experiments == 60
+        assert row.n_excluded == 0
+        assert row.secret_bits == math.fsum(sorted(map(float, secrets)))
+        assert row.min_entropy_bits == pytest.approx(
+            float(entropies.sum()), rel=1e-12
+        )
+        assert row.leaked_bits == pytest.approx(
+            row.secret_bits - row.min_entropy_bits, rel=1e-12
+        )
+        residuals = entropies / secrets
+        assert row.min_residual == float(residuals.min())
+        assert row.mean_residual == pytest.approx(
+            row.min_entropy_bits / row.secret_bits, rel=1e-12
+        )
+        assert row.p95_residual == best_fraction_minimum(list(residuals), 0.95)
+
+    def test_zero_secret_and_nan_are_excluded(self):
+        acc = SecrecyAccumulator()
+        acc.add(0.0, 0.0)
+        acc.add(800.0, math.nan)
+        acc.add(800.0, 600.0)
+        assert acc.n_experiments == 1
+        row = acc.summary(3)
+        assert row.n_excluded == 2
+        assert row.min_residual == 0.75
+
+    def test_all_excluded_summarises_to_nan_row(self):
+        acc = SecrecyAccumulator()
+        acc.add(0.0, 0.0)
+        row = acc.summary(3)
+        assert row.n_experiments == 0
+        assert row.n_excluded == 1
+        assert row.secret_bits == 0.0
+        assert math.isnan(row.min_residual)
+        assert math.isnan(row.mean_residual)
+
+    def test_truly_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one experiment"):
+            SecrecyAccumulator().summary(3)
+
+    def test_entropy_above_secret_rejected(self):
+        acc = SecrecyAccumulator()
+        with pytest.raises(ValueError, match="min-entropy"):
+            acc.add(800.0, 800.1)
+        with pytest.raises(ValueError, match="min-entropy"):
+            acc.add(800.0, -1.0)
+
+    @given(seed=partition_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_partition_invariance_is_exact(self, seed):
+        rng = np.random.default_rng(seed % (2**31))
+        n = int(rng.integers(1, 80))
+        secrets = rng.integers(0, 40, size=n) * 800.0
+        entropies = np.where(
+            secrets > 0, secrets * np.round(rng.random(n), 3), 0.0
+        )
+        pairs = list(zip(secrets, entropies))
+        reference = SecrecyAccumulator()
+        for s, h in pairs:
+            reference.add(s, h)
+
+        def accumulate():
+            return SecrecyAccumulator()
+
+        parts = shuffled_chunks(pairs, seed, _PairAdapter)
+        merged = merge_in_tree_order(
+            [p.inner for p in parts], seed + 1, accumulate
+        )
+        assert merged.n_excluded == reference.n_excluded
+        assert merged.n_experiments == reference.n_experiments
+        if reference.n_experiments == 0 and reference.n_excluded == 0:
+            return
+        ref_row = reference.summary(4)
+        got_row = merged.summary(4)
+        assert got_row == ref_row  # bit-identical dataclass equality
+
+
+class _PairAdapter:
+    """Adapts (secret, entropy) pair streams to the chunk helpers."""
+
+    def __init__(self):
+        self.inner = SecrecyAccumulator()
+
+    def extend(self, pairs):
+        for secret, entropy in pairs:
+            self.inner.add(secret, entropy)

@@ -26,6 +26,7 @@ from repro.service import (
     TcpLeader,
     build_reference_session,
     connect_follower_tcp,
+    reference_budget,
     reference_keys,
     run_follower,
     run_leader,
@@ -95,11 +96,25 @@ class TestReferenceEquivalence:
         ref1 = reference_keys(FAST, "alice", ("bob",), nonce=1)
         assert keys1["alice"].material == ref1.material
 
-    def test_stated_key_length_contract(self):
-        config = ServiceConfig(n_x_packets=16, payload_bytes=8, key_bytes=48)
+    def test_stated_key_length_is_a_ceiling(self):
+        """``key_bytes`` states the ceiling; the measured secrecy budget
+        sizes the actual material.  With 32-byte payloads a single
+        agreed packet already covers 48 bytes of output."""
+        config = ServiceConfig(n_x_packets=32, payload_bytes=32, key_bytes=48)
         keys = asyncio.run(run_memory_group(config))
         assert len(keys["alice"].material) == 48
         assert len(keys["bob"].material) == 48
+
+    def test_small_session_sizes_key_below_ceiling(self):
+        """8-byte payloads: the same request yields only what the
+        measured min-entropy supports — never stretched to 48."""
+        config = ServiceConfig(n_x_packets=16, payload_bytes=8, key_bytes=48)
+        keys = asyncio.run(run_memory_group(config))
+        budget = reference_budget(config, "alice", ("bob",))
+        expected = min(48, budget.extractable_bytes)
+        assert expected < 48
+        assert len(keys["alice"].material) == expected
+        assert keys["alice"].material == keys["bob"].material
 
 
 class TestFailClosedDrivers:
@@ -144,14 +159,19 @@ class TestFailClosedDrivers:
 class TestFaultInjection:
     def test_data_plane_faults_sessions_still_agree(self):
         """Seeded X-frame drops/duplicates ride on top of the erasure
-        traces: reception sets shift, but every session still agrees."""
+        traces: reception sets shift, but every session still agrees.
+
+        16-byte payloads so even a one-row secret clears the measured
+        entropy floor — fault-starved sessions should shrink their keys,
+        not abort."""
         spec = FaultSpec.data_plane(drop=0.2, duplicate=0.05)
+        config = ServiceConfig(n_x_packets=16, payload_bytes=16)
 
         async def sweep():
             return await asyncio.gather(
                 *(
                     run_memory_group_outcome(
-                        FAST, nonce=n, fault_spec=spec, fault_seed=n
+                        config, nonce=n, fault_spec=spec, fault_seed=n
                     )
                     for n in range(10)
                 )
@@ -198,5 +218,32 @@ class TestFaultInjection:
         assert report.sessions_per_sec > 0
         assert 0 < report.p50_ms <= report.p99_ms
         assert len(report.latencies_ms) == 30
+        assert report.n_samples == 30
         payload = report.to_json()
         assert payload["established"] == 30
+        assert payload["n_samples"] == 30
+
+    def test_small_run_percentiles_are_observed_samples(self):
+        """Regression: on n<20 the p99 used to be an interpolated value
+        between the two slowest sessions — a latency nobody measured.
+        Nearest-rank percentiles always quote a real sample."""
+        report = asyncio.run(run_load(FAST, 3, concurrency=3))
+        assert report.n_samples == 3
+        assert report.p50_ms in report.latencies_ms
+        assert report.p99_ms in report.latencies_ms
+        assert report.p99_ms == max(report.latencies_ms)
+
+    def test_nearest_rank_index_clamps(self):
+        from repro.service.peer import nearest_rank_ms
+
+        assert nearest_rank_ms([], 99) == 0.0
+        assert nearest_rank_ms([7.0], 1) == 7.0
+        assert nearest_rank_ms([7.0], 99) == 7.0
+        values = [1.0, 2.0, 3.0]
+        assert nearest_rank_ms(values, 50) == 2.0
+        assert nearest_rank_ms(values, 99) == 3.0
+        assert nearest_rank_ms(values, 0) == 1.0  # floor clamp
+        # The p95-rank convention matches the analysis layer: 20
+        # samples keep rank ceil(0.95*20) = 19.
+        twenty = [float(i) for i in range(1, 21)]
+        assert nearest_rank_ms(twenty, 95) == 19.0

@@ -41,6 +41,8 @@ RESULT_FIELDS = (
     "eve_missed",
     "terminal_receptions",
     "delivery_rates",
+    "hidden_dims",
+    "eve_equations",
 )
 
 #: Every estimator family, both adversaries, bursty and IID losses —

@@ -161,6 +161,31 @@ class TestBinaryStoreEquivalence:
         assert path.suffix == ".jsonl"
         assert binary_view.records(key) == [{"i": 0}, {"i": 1}]
 
+    def test_empty_shard_does_not_pin_layout(self, tmp_path):
+        """Zero-length debris (a writer that crashed at open, an
+        operator ``touch``) commits to no layout: the store codec
+        decides the extension, exactly as for a fresh key."""
+        key = "3" * 20
+        (tmp_path / f"{key}.jsonl").touch()
+        store = open_store(f"file:{tmp_path}?codec=binary")
+        store.append(key, {"i": 0})
+        assert store.shard_path(key).suffix == BINARY_EXTENSION
+        assert store.records(key) == [{"i": 0}]
+
+    def test_empty_shard_cannot_shadow_populated_sibling(self, tmp_path):
+        """Regression: an empty ``key.jsonl`` used to win shard
+        dispatch over a populated ``key.rbin``, hiding every stored
+        record and routing appends into the wrong layout."""
+        key = "4" * 20
+        binary_store = open_store(f"file:{tmp_path}?codec=binary")
+        binary_store.append(key, {"i": 0})
+        (tmp_path / f"{key}.jsonl").touch()
+        jsonl_view = open_store(f"file:{tmp_path}")
+        assert jsonl_view.records(key) == [{"i": 0}]
+        jsonl_view.append(key, {"i": 1})  # extends the populated shard
+        assert jsonl_view.shard_path(key).suffix == BINARY_EXTENSION
+        assert jsonl_view.records(key) == [{"i": 0}, {"i": 1}]
+
     def test_torn_binary_trailer_reads_clean_and_seals(self, tmp_path):
         store = open_store(f"file:{tmp_path}?codec=binary")
         key = "2" * 20

@@ -280,8 +280,11 @@ class TestZeroSecretNaNThroughStore:
         agg = groups[4].reliability
         assert agg.n_experiments == 0  # nothing entered the population
         assert agg.n_excluded == len(first.records)
-        with pytest.raises(ValueError, match="at least one experiment"):
-            agg.summary(4)
+        # 100%-NaN population: a measured outcome, not an error — the
+        # summary is a NaN row carrying the exclusion count.
+        row = agg.summary(4)
+        assert row.n_experiments == 0
+        assert math.isnan(row.minimum) and math.isnan(row.mean)
 
         # Merging the all-NaN group into a live population must leave
         # the live statistics untouched.
